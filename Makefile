@@ -1,0 +1,27 @@
+# Convenience targets for the GANNS reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full experiments examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) scripts/collect_experiments.py
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
+
+clean:
+	rm -rf .bench_cache benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,71 @@
+"""Shared benchmark fixtures.
+
+Every benchmark prints its paper-vs-measured table to stdout *and* writes
+it to ``benchmarks/results/<name>.txt``, so a full ``pytest benchmarks/
+--benchmark-only`` run leaves a browsable record behind (EXPERIMENTS.md is
+assembled from those files).
+
+Built graphs and simulated construction timings are cached on disk under
+``.bench_cache/`` so re-runs and benches that share workloads don't pay
+twice.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.bench.runner import GraphCache
+from repro.bench.workloads import DEFAULT_CONFIG, construction_device
+from repro.datasets.catalog import Dataset
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The shared benchmark sizing configuration."""
+    return DEFAULT_CONFIG
+
+
+@pytest.fixture(scope="session")
+def cache():
+    """Disk-backed graph/timing cache shared by all benchmarks."""
+    return GraphCache()
+
+
+@pytest.fixture(scope="session")
+def datasets(config) -> Dict[str, Dataset]:
+    """Lazily materialised datasets, shared across benchmark files."""
+    loaded: Dict[str, Dataset] = {}
+
+    class _Loader(dict):
+        def __missing__(self, name: str) -> Dataset:
+            dataset = config.load(name)
+            self[name] = dataset
+            return dataset
+
+    return _Loader(loaded)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a result table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def cdevice():
+    """Scaled device used by every construction benchmark."""
+    return construction_device()

@@ -1,0 +1,110 @@
+"""Index construction: every scheme, head to head.
+
+For teams that rebuild their ANN index nightly, construction time is the
+paper's second headline (Tables II/III: 40-50x over single-thread CPU).
+This example builds the same dataset with every construction scheme in
+the library and reports, for each: simulated build time, graph quality
+(search recall at a fixed budget) and the structural story.
+
+Schemes:
+
+- GraphCon_NSW     — sequential CPU insertion (modeled single core)
+- GSerial          — the same insertions on the GPU, one block at a time
+- GNaiveParallel   — batch-parallel insertion that ignores in-batch links
+- GGraphCon_SONG   — divide-and-conquer with SONG as the search kernel
+- GGraphCon_GANNS  — divide-and-conquer with GANNS (the paper's winner)
+- KNN (NN-Descent) — the Section IV-D KNN-graph extension
+
+Run it with::
+
+    python examples/index_construction_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BuildParams,
+    SearchParams,
+    build_nsw_cpu,
+    build_nsw_gpu,
+    build_knn_graph_gpu,
+    build_nsw_naive_parallel,
+    build_nsw_serial_gpu,
+    ganns_search,
+    load_dataset,
+    recall_at_k,
+)
+from repro.baselines.cpu_cost import DEFAULT_CPU
+from repro.bench.workloads import construction_device
+
+
+def main() -> None:
+    dataset = load_dataset("sift1m", n_points=4000, n_queries=200)
+    ground_truth = dataset.ground_truth(10)
+    params = BuildParams(d_min=16, d_max=32, n_blocks=64)
+    device = construction_device()
+    search = SearchParams(k=10, l_n=64)
+
+    rows = []
+
+    cpu = build_nsw_cpu(dataset.points, params.d_min, params.d_max)
+    cpu_seconds = DEFAULT_CPU.seconds(
+        cpu.counters, dataset.metric.flops_per_distance(dataset.n_dims))
+    rows.append(("GraphCon_NSW (CPU, 1 thread)", cpu_seconds, cpu.graph))
+
+    serial = build_nsw_serial_gpu(dataset.points, params, device=device)
+    rows.append(("GSerial", serial.seconds, serial.graph))
+
+    naive = build_nsw_naive_parallel(dataset.points, params, device=device)
+    rows.append(("GNaiveParallel", naive.seconds, naive.graph))
+
+    song = build_nsw_gpu(dataset.points, params, search_kernel="song",
+                         device=device)
+    rows.append(("GGraphCon_SONG", song.seconds, song.graph))
+
+    ganns = build_nsw_gpu(dataset.points, params, search_kernel="ganns",
+                          device=device)
+    rows.append(("GGraphCon_GANNS", ganns.seconds, ganns.graph))
+
+    knn = build_knn_graph_gpu(dataset.points, k=16, params=params,
+                              device=device)
+
+    print(f"{'scheme':>32} {'build (s)':>10} {'vs CPU':>8} "
+          f"{'recall@10':>10}")
+    for name, seconds, graph in rows:
+        report = ganns_search(graph, dataset.points, dataset.queries,
+                              search)
+        recall = recall_at_k(report.ids, ground_truth)
+        speedup = cpu_seconds / seconds if seconds else float("inf")
+        print(f"{name:>32} {seconds:>10.3f} {speedup:>7.1f}x "
+              f"{recall:>10.3f}")
+
+    # The KNN graph is a different animal: its edges are exact near
+    # neighbors only, so on clustered data there are no long-range links
+    # and greedy search from a fixed entry cannot cross clusters — which
+    # is exactly why NSW adds them (Section II-B).  Judge it by edge
+    # accuracy, not by beam-search recall.
+    from repro.datasets import exact_knn
+    true_knn = exact_knn(dataset.points, dataset.points, 17)[:, 1:]
+    import numpy as np
+    hits = sum(np.intersect1d(knn.graph.neighbors(v), true_knn[v]).size
+               for v in range(dataset.n_points))
+    knn_accuracy = hits / (dataset.n_points * 16)
+    knn_speedup = cpu_seconds / knn.seconds
+    print(f"{'KNN graph (batched NN-Descent)':>32} {knn.seconds:>10.3f} "
+          f"{knn_speedup:>7.1f}x {'—':>10}   "
+          f"(edge accuracy {knn_accuracy:.3f}; not beam-searchable "
+          f"across clusters)")
+
+    print("\ntakeaways (matching the paper):")
+    print(" - GGraphCon_GANNS is the fastest high-quality build "
+          f"({cpu_seconds / ganns.seconds:.0f}x over the CPU baseline; "
+          "paper: 40-50x on most datasets)")
+    print(" - GNaiveParallel is fast but its graph costs recall "
+          "(Figure 12's quality collapse)")
+    print(" - GSerial shows why naive GPU porting fails: "
+          f"{serial.seconds / ganns.seconds:.0f}x slower than GGraphCon")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""repro — reproduction of "GPU-accelerated Proximity Graph Approximate
+Nearest Neighbor Search and Construction" (Yu et al., ICDE 2022).
+
+The package provides:
+
+- **GANNS** (:func:`repro.core.ganns.ganns_search`): the paper's
+  GPU-friendly proximity-graph search built on lazy update + lazy check.
+- **GGraphCon** (:func:`repro.core.construction.build_nsw_gpu` and the
+  HNSW/KNN extensions): divide-and-conquer GPU graph construction.
+- **Baselines**: SONG, Algorithm 1 beam search, sequential CPU NSW/HNSW
+  construction, NN-Descent.
+- **Substrates**: a simulated SIMT device with calibrated cycle costs
+  (:mod:`repro.gpusim`), proximity-graph storage (:mod:`repro.graphs`),
+  metrics (:mod:`repro.metrics`) and synthetic stand-ins for the paper's
+  datasets (:mod:`repro.datasets`).
+- **GannsIndex**: the one-object high-level API.
+
+Quickstart:
+    >>> import numpy as np
+    >>> from repro import GannsIndex
+    >>> points = np.random.rand(2000, 32).astype("float32")
+    >>> index = GannsIndex.build(points)
+    >>> ids, dists = index.search(points[:5], k=10)
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    DeviceError,
+    GraphError,
+    DatasetError,
+    SearchError,
+    ConstructionError,
+)
+from repro.core import (
+    GannsIndex,
+    tune_search,
+    stream_batches,
+    SearchParams,
+    BuildParams,
+    SearchReport,
+    ConstructionReport,
+    ganns_search,
+    build_nsw_gpu,
+    build_hnsw_gpu,
+    build_knn_graph_gpu,
+    build_nsw_serial_gpu,
+    build_nsw_naive_parallel,
+)
+from repro.baselines import (
+    beam_search,
+    song_search,
+    SongParams,
+    build_nsw_cpu,
+    build_hnsw_cpu,
+    build_knn_graph_nn_descent,
+)
+from repro.datasets import load_dataset, dataset_names, exact_knn
+from repro.graphs import ProximityGraph, HierarchicalGraph, validate_graph
+from repro.metrics import recall_at_k, get_metric
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "DeviceError",
+    "GraphError",
+    "DatasetError",
+    "SearchError",
+    "ConstructionError",
+    "GannsIndex",
+    "tune_search",
+    "stream_batches",
+    "SearchParams",
+    "BuildParams",
+    "SearchReport",
+    "ConstructionReport",
+    "ganns_search",
+    "build_nsw_gpu",
+    "build_hnsw_gpu",
+    "build_knn_graph_gpu",
+    "build_nsw_serial_gpu",
+    "build_nsw_naive_parallel",
+    "beam_search",
+    "song_search",
+    "SongParams",
+    "build_nsw_cpu",
+    "build_hnsw_cpu",
+    "build_knn_graph_nn_descent",
+    "load_dataset",
+    "dataset_names",
+    "exact_knn",
+    "ProximityGraph",
+    "HierarchicalGraph",
+    "validate_graph",
+    "recall_at_k",
+    "get_metric",
+]

@@ -1,0 +1,38 @@
+"""Baselines the paper compares against.
+
+- :mod:`repro.baselines.beam` — Algorithm 1, the classical CPU beam search
+  on a proximity graph (min-heap candidates, max-heap results, visited set).
+- :mod:`repro.baselines.nsw_cpu` — GraphCon_NSW: single-thread sequential
+  NSW insertion.
+- :mod:`repro.baselines.hnsw_cpu` — GraphCon_HNSW: single-thread HNSW
+  construction.
+- :mod:`repro.baselines.nn_descent` — NN-Descent KNN-graph construction.
+- :mod:`repro.baselines.song` — SONG, the state-of-the-art GPU search the
+  paper benchmarks against, under the shared gpusim cost model.
+- :mod:`repro.baselines.cpu_cost` — single-core CPU timing model for the
+  construction baselines (Tables II/III).
+"""
+
+from repro.baselines.beam import BeamSearchResult, beam_search, beam_search_batch
+from repro.baselines.nsw_cpu import build_nsw_cpu, NswBuildReport
+from repro.baselines.hnsw_cpu import build_hnsw_cpu, HnswBuildReport, draw_levels
+from repro.baselines.nn_descent import build_knn_graph_nn_descent, NnDescentReport
+from repro.baselines.song import song_search, SongParams
+from repro.baselines.cpu_cost import CpuModel, DEFAULT_CPU
+
+__all__ = [
+    "BeamSearchResult",
+    "beam_search",
+    "beam_search_batch",
+    "build_nsw_cpu",
+    "NswBuildReport",
+    "build_hnsw_cpu",
+    "HnswBuildReport",
+    "draw_levels",
+    "build_knn_graph_nn_descent",
+    "NnDescentReport",
+    "song_search",
+    "SongParams",
+    "CpuModel",
+    "DEFAULT_CPU",
+]

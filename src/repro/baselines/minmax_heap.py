@@ -1,0 +1,233 @@
+"""Bounded min-max heap — SONG's candidate-queue data structure.
+
+SONG implements its candidate set ``C`` "in the form of a min-max heap
+with size k, which can save memory consumption without sacrificing
+performance" (Section II-D): a single array supporting O(1) access to
+both the minimum and the maximum, O(log n) insertion, delete-min and
+delete-max — exactly what a bounded priority queue needs (pop the best
+candidate, evict the worst when full).
+
+This is the classical Atkinson et al. (1986) structure: a binary heap
+whose even levels (the root is level 0) are *min levels* and odd levels
+are *max levels*.  Keys are ``(distance, id)`` tuples so ordering matches
+the library-wide tie-break rule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+Key = Tuple[float, int]
+
+
+def _level(index: int) -> int:
+    """Tree level of a 0-based array index (root = level 0)."""
+    return (index + 1).bit_length() - 1
+
+
+def _is_min_level(index: int) -> bool:
+    return _level(index) % 2 == 0
+
+
+class MinMaxHeap:
+    """A bounded min-max heap over ``(distance, id)`` keys.
+
+    Args:
+        bound: Maximum number of elements.  Pushing into a full heap
+            evicts the maximum if the new key is smaller, else the push
+            is rejected — the bounded-priority-queue semantics of SONG's
+            "if C is full and the new point is better than the worst
+            point in C, the worst point is removed".
+    """
+
+    def __init__(self, bound: int):
+        if bound <= 0:
+            raise ConfigurationError(
+                f"heap bound must be positive, got {bound}"
+            )
+        self.bound = bound
+        self._items: List[Key] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the heap holds ``bound`` elements."""
+        return len(self._items) >= self.bound
+
+    def min(self) -> Key:
+        """Smallest key (the best candidate).  Raises on empty."""
+        if not self._items:
+            raise ConfigurationError("min() on an empty heap")
+        return self._items[0]
+
+    def max(self) -> Key:
+        """Largest key (the eviction victim).  Raises on empty."""
+        if not self._items:
+            raise ConfigurationError("max() on an empty heap")
+        return self._items[self._max_index()]
+
+    def _max_index(self) -> int:
+        if len(self._items) == 1:
+            return 0
+        if len(self._items) == 2:
+            return 1
+        return 1 if self._items[1] >= self._items[2] else 2
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def push(self, key: Key) -> bool:
+        """Insert a key, evicting the maximum if full.
+
+        Returns:
+            True if the key now resides in the heap; False if it was
+            rejected (full and not better than the current maximum).
+        """
+        inserted, _ = self.push_with_eviction(key)
+        return inserted
+
+    def push_with_eviction(self, key: Key) -> Tuple[bool, Optional[Key]]:
+        """Insert a key; also report any evicted maximum.
+
+        SONG's visited-deletion optimization needs to know *which* entry
+        the bounded queue dropped, so the fixed-size hash can forget it.
+
+        Returns:
+            ``(inserted, evicted)``: whether ``key`` resides in the heap
+            now, and the key that was evicted to make room (or None).
+        """
+        evicted: Optional[Key] = None
+        if self.is_full:
+            if key >= self.max():
+                return False, None
+            evicted = self.max()
+            self._delete(self._max_index())
+        self._items.append(key)
+        self._bubble_up(len(self._items) - 1)
+        return True, evicted
+
+    def pop_min(self) -> Key:
+        """Remove and return the smallest key."""
+        smallest = self.min()
+        self._delete(0)
+        return smallest
+
+    def pop_max(self) -> Key:
+        """Remove and return the largest key."""
+        index = self._max_index()
+        largest = self._items[index]
+        self._delete(index)
+        return largest
+
+    # ------------------------------------------------------------------
+    # Internals (Atkinson et al. trickle operations)
+    # ------------------------------------------------------------------
+
+    def _delete(self, index: int) -> None:
+        last = self._items.pop()
+        if index < len(self._items):
+            self._items[index] = last
+            self._trickle_down(index)
+            self._bubble_up(index)
+
+    def _bubble_up(self, index: int) -> None:
+        if index == 0:
+            return
+        parent = (index - 1) // 2
+        items = self._items
+        if _is_min_level(index):
+            if items[index] > items[parent]:
+                items[index], items[parent] = items[parent], items[index]
+                self._bubble_up_max(parent)
+            else:
+                self._bubble_up_min(index)
+        else:
+            if items[index] < items[parent]:
+                items[index], items[parent] = items[parent], items[index]
+                self._bubble_up_min(parent)
+            else:
+                self._bubble_up_max(index)
+
+    def _bubble_up_min(self, index: int) -> None:
+        items = self._items
+        while index >= 3:
+            grandparent = ((index - 1) // 2 - 1) // 2
+            if items[index] < items[grandparent]:
+                items[index], items[grandparent] = (items[grandparent],
+                                                    items[index])
+                index = grandparent
+            else:
+                break
+
+    def _bubble_up_max(self, index: int) -> None:
+        items = self._items
+        while index >= 3:
+            grandparent = ((index - 1) // 2 - 1) // 2
+            if items[index] > items[grandparent]:
+                items[index], items[grandparent] = (items[grandparent],
+                                                    items[index])
+                index = grandparent
+            else:
+                break
+
+    def _descendants(self, index: int) -> List[int]:
+        """Children and grandchildren indices of ``index``."""
+        n = len(self._items)
+        out = []
+        for child in (2 * index + 1, 2 * index + 2):
+            if child < n:
+                out.append(child)
+                for grandchild in (2 * child + 1, 2 * child + 2):
+                    if grandchild < n:
+                        out.append(grandchild)
+        return out
+
+    def _trickle_down(self, index: int) -> None:
+        if _is_min_level(index):
+            self._trickle_down_dir(index, smallest=True)
+        else:
+            self._trickle_down_dir(index, smallest=False)
+
+    def _trickle_down_dir(self, index: int, smallest: bool) -> None:
+        items = self._items
+        while True:
+            descendants = self._descendants(index)
+            if not descendants:
+                return
+            if smallest:
+                target = min(descendants, key=lambda i: items[i])
+                should_swap = items[target] < items[index]
+            else:
+                target = max(descendants, key=lambda i: items[i])
+                should_swap = items[target] > items[index]
+            if not should_swap:
+                return
+            items[index], items[target] = items[target], items[index]
+            # If the target was a grandchild, fix the parent relation.
+            if target > 2 * index + 2:
+                parent = (target - 1) // 2
+                if smallest and items[target] > items[parent]:
+                    items[target], items[parent] = (items[parent],
+                                                    items[target])
+                elif not smallest and items[target] < items[parent]:
+                    items[target], items[parent] = (items[parent],
+                                                    items[target])
+                index = target
+            else:
+                return
+
+    def as_sorted_list(self) -> List[Key]:
+        """All keys in ascending order (non-destructive; for tests)."""
+        return sorted(self._items)

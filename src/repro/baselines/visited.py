@@ -1,0 +1,216 @@
+"""Visited-vertex marking strategies (the Section III-A design space).
+
+Before settling on *lazy check*, the paper weighs the ways a GPU search
+can remember which vertices it has seen:
+
+- an **open-addressing hash table** — what SONG ships; compact, but its
+  probes serialise on the host thread;
+- a **bloom filter** — SONG's alternative for low memory; false
+  positives silently *drop* candidates;
+- a **bitmap** — trivially parallel, "but this is not efficient on the
+  GPU because of the high latency of the random memory accesses involved
+  in the warp threads and the limited on-chip memory": one bit per
+  vertex cannot fit in shared memory for million-point datasets.
+
+This module implements all three behind one interface with per-operation
+cycle charges, so SONG can be run under any of them and the ablation
+benchmark can reproduce the paper's argument quantitatively.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.costs import CostTable, DEFAULT_COSTS
+
+
+class VisitedSet(abc.ABC):
+    """Interface: mark vertices as visited and query membership.
+
+    Implementations accumulate the simulated cycle cost of their own
+    operations in :attr:`cycles`; membership answers are exact or
+    one-sided approximate depending on the structure.
+    """
+
+    def __init__(self, costs: CostTable = DEFAULT_COSTS):
+        self.costs = costs
+        #: Accumulated simulated cycles of all probe/insert operations.
+        self.cycles = 0.0
+
+    @abc.abstractmethod
+    def add(self, vertex: int) -> None:
+        """Mark ``vertex`` visited."""
+
+    @abc.abstractmethod
+    def __contains__(self, vertex: int) -> bool:
+        """Whether ``vertex`` is (believed to be) visited."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """On-chip memory footprint of the structure."""
+
+
+class OpenAddressingHash(VisitedSet):
+    """SONG's fixed-size open-addressing hash with linear probing.
+
+    The table's size is fixed up front (SONG uses ``2k`` slots for the
+    points in ``N ∪ C``); when it overflows, the oldest semantics don't
+    matter for search correctness — SONG sizes it to never overflow, and
+    so do we (raising if violated keeps the model honest).
+    """
+
+    _EMPTY = -1
+
+    def __init__(self, capacity: int, costs: CostTable = DEFAULT_COSTS):
+        super().__init__(costs)
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"hash capacity must be positive, got {capacity}"
+            )
+        # Size to the next power of two at twice the capacity so linear
+        # probing stays short.
+        size = 1
+        while size < 2 * capacity:
+            size *= 2
+        self._slots = np.full(size, self._EMPTY, dtype=np.int64)
+        self._mask = size - 1
+        self._count = 0
+
+    def _probe(self, vertex: int) -> int:
+        """Return the slot holding ``vertex`` or the first empty slot."""
+        index = (vertex * 0x9E3779B1) & self._mask
+        probes = 1
+        while (self._slots[index] != self._EMPTY
+               and self._slots[index] != vertex):
+            index = (index + 1) & self._mask
+            probes += 1
+        self.cycles += probes * self.costs.hash_probe_cycles
+        return index
+
+    def add(self, vertex: int) -> None:
+        index = self._probe(vertex)
+        if self._slots[index] == self._EMPTY:
+            if self._count >= len(self._slots) - 1:
+                raise ConfigurationError(
+                    "open-addressing hash overflow: size the table to "
+                    "the search budget"
+                )
+            self._slots[index] = vertex
+            self._count += 1
+
+    def __contains__(self, vertex: int) -> bool:
+        return self._slots[self._probe(vertex)] == vertex
+
+    def memory_bytes(self) -> int:
+        return self._slots.nbytes
+
+
+class BloomFilter(VisitedSet):
+    """A counting-free bloom filter over vertex ids.
+
+    One-sided error: a membership answer of True may be wrong (false
+    positive), which makes the *search* silently skip a genuinely new
+    candidate — the accuracy hazard the paper notes.
+    """
+
+    def __init__(self, n_bits: int, n_hashes: int = 3,
+                 costs: CostTable = DEFAULT_COSTS):
+        super().__init__(costs)
+        if n_bits <= 0:
+            raise ConfigurationError(
+                f"bloom filter size must be positive, got {n_bits}"
+            )
+        if n_hashes <= 0:
+            raise ConfigurationError(
+                f"bloom filter needs at least one hash, got {n_hashes}"
+            )
+        self._bits = np.zeros(n_bits, dtype=bool)
+        self._n_hashes = n_hashes
+
+    def _positions(self, vertex: int) -> np.ndarray:
+        positions = np.empty(self._n_hashes, dtype=np.int64)
+        h = np.int64(vertex)
+        for i in range(self._n_hashes):
+            h = np.int64((int(h) * 0x9E3779B1 + i * 0x85EBCA77)
+                         & 0x7FFFFFFF)
+            positions[i] = int(h) % len(self._bits)
+        return positions
+
+    def add(self, vertex: int) -> None:
+        self._bits[self._positions(vertex)] = True
+        self.cycles += self._n_hashes * self.costs.hash_probe_cycles
+
+    def __contains__(self, vertex: int) -> bool:
+        self.cycles += self._n_hashes * self.costs.hash_probe_cycles
+        return bool(self._bits[self._positions(vertex)].all())
+
+    def memory_bytes(self) -> int:
+        # One bit per entry; the numpy bool array is the simulation's
+        # stand-in for the packed words.
+        return (len(self._bits) + 7) // 8
+
+    def false_positive_rate(self, n_inserted: int) -> float:
+        """Expected false-positive rate after ``n_inserted`` adds."""
+        m = len(self._bits)
+        k = self._n_hashes
+        return (1.0 - np.exp(-k * n_inserted / m)) ** k
+
+
+class Bitmap(VisitedSet):
+    """One bit per vertex in (simulated) off-chip memory.
+
+    Parallel and exact, but each touch is a random global-memory access
+    (charged at full latency) and the footprint is ``n/8`` bytes — the
+    two reasons Section III-A rejects it.
+    """
+
+    #: Cycles of one random global-memory access (uncoalesced).
+    RANDOM_ACCESS_CYCLES = 380.0
+
+    def __init__(self, n_vertices: int, costs: CostTable = DEFAULT_COSTS):
+        super().__init__(costs)
+        if n_vertices <= 0:
+            raise ConfigurationError(
+                f"bitmap needs a positive vertex count, got {n_vertices}"
+            )
+        self._bits = np.zeros(n_vertices, dtype=bool)
+
+    def add(self, vertex: int) -> None:
+        self._bits[vertex] = True
+        self.cycles += self.RANDOM_ACCESS_CYCLES
+
+    def __contains__(self, vertex: int) -> bool:
+        self.cycles += self.RANDOM_ACCESS_CYCLES
+        return bool(self._bits[vertex])
+
+    def memory_bytes(self) -> int:
+        return (len(self._bits) + 7) // 8
+
+
+def make_visited_set(strategy: str, n_vertices: int, budget: int,
+                     costs: CostTable = DEFAULT_COSTS,
+                     bloom_bits: Optional[int] = None) -> VisitedSet:
+    """Factory over the three Section III-A strategies.
+
+    Args:
+        strategy: ``"hash"``, ``"bloom"`` or ``"bitmap"``.
+        n_vertices: Total vertices in the graph (bitmap sizing).
+        budget: Expected number of visited vertices (hash/bloom sizing).
+        costs: Cycle cost table.
+        bloom_bits: Bloom filter size; defaults to ``8 * budget`` bits.
+    """
+    if strategy == "hash":
+        return OpenAddressingHash(capacity=max(budget, 1), costs=costs)
+    if strategy == "bloom":
+        return BloomFilter(n_bits=bloom_bits or max(8 * budget, 64),
+                           costs=costs)
+    if strategy == "bitmap":
+        return Bitmap(n_vertices=n_vertices, costs=costs)
+    raise ConfigurationError(
+        f"unknown visited strategy {strategy!r}; valid: hash, bloom, "
+        f"bitmap"
+    )

@@ -1,0 +1,112 @@
+"""The paper's reported numbers (Section V), embedded for comparison.
+
+Every benchmark prints its measured values next to the corresponding
+figures from the paper.  Absolute numbers from the paper refer to the full
+datasets on the authors' Quadro P5000; our stand-ins are smaller, so the
+meaningful comparisons are the *ratios* and *shapes* (see DESIGN.md).
+Values read off plots carry the precision the plots allow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+
+class Fig6Point(NamedTuple):
+    """Headline Figure 6 operating point or speedup band for one dataset."""
+
+    speedup_low: float
+    speedup_high: float
+    ganns_qps: float  # paper's quoted GANNS throughput, when stated; else 0
+    recall: float     # recall of the quoted operating point, when stated
+
+
+#: Figure 6 — GANNS-over-SONG speedup bands around recall 0.8 (text of
+#: Section V-A), plus the explicitly quoted SIFT1M operating point.
+PAPER_FIG6: Dict[str, Fig6Point] = {
+    "sift1m": Fig6Point(5.0, 5.2, 458_500.0, 0.795),
+    "gist": Fig6Point(1.5, 1.5, 0.0, 0.8),
+    "nytimes": Fig6Point(2.0, 2.0, 0.0, 0.8),
+    "glove200": Fig6Point(2.0, 2.0, 0.0, 0.8),
+    "uq_v": Fig6Point(1.5, 5.0, 0.0, 0.8),
+    "msong": Fig6Point(1.5, 5.0, 0.0, 0.8),
+    "notre": Fig6Point(1.5, 5.0, 0.0, 0.8),
+    "ukbench": Fig6Point(1.5, 5.0, 0.0, 0.8),
+    "deep": Fig6Point(1.5, 5.0, 0.0, 0.8),
+    "sift10m": Fig6Point(1.5, 5.0, 0.0, 0.8),
+}
+
+#: Figure 7 — share of SONG's time spent on data-structure operations
+#: ("around 50-90%" across datasets, Section I).
+PAPER_FIG7_SONG_STRUCTURE_SHARE = (0.5, 0.9)
+
+#: Figure 8 — speedup stability while k varies from 1 to 100 at recall 0.8.
+PAPER_FIG8 = {
+    "sift1m": (5.0, 5.3),
+    "gist": (1.5, 2.0),
+}
+
+#: Figure 9 — GIST dimensionality sweep: speedup grows from 1.5x at
+#: n_d = 960 to 6x at n_d = 60.
+PAPER_FIG9 = {960: 1.5, 60: 6.0}
+
+#: Figure 10 — SIFT1M, threads per block 4 -> 32: distance time 100 -> 24
+#: ms for both algorithms; GANNS structure time 71 -> 12.3 ms; SONG
+#: structure time does not improve with threads.
+PAPER_FIG10 = {
+    "distance_ms": {4: 100.0, 32: 24.0},
+    "ganns_structure_ms": {4: 71.0, 32: 12.3},
+}
+
+#: Table II — NSW construction seconds: CPU GraphCon_NSW, GGraphCon_GANNS,
+#: GGraphCon_SONG (speedups in parentheses in the paper).
+PAPER_TABLE2: Dict[str, Dict[str, float]] = {
+    "sift1m": {"cpu": 355.0, "ggc_ganns": 8.5, "ggc_song": 23.0},
+    "gist": {"cpu": 1335.0, "ggc_ganns": 27.0, "ggc_song": 38.0},
+    "nytimes": {"cpu": 249.0, "ggc_ganns": 3.0, "ggc_song": 8.0},
+    "glove200": {"cpu": 531.0, "ggc_ganns": 13.0, "ggc_song": 31.5},
+    "uq_v": {"cpu": 1720.0, "ggc_ganns": 43.0, "ggc_song": 145.0},
+    "msong": {"cpu": 620.0, "ggc_ganns": 14.0, "ggc_song": 28.0},
+    "notre": {"cpu": 87.0, "ggc_ganns": 3.0, "ggc_song": 7.0},
+    "ukbench": {"cpu": 375.0, "ggc_ganns": 10.0, "ggc_song": 27.0},
+    "deep": {"cpu": 4135.0, "ggc_ganns": 49.5, "ggc_song": 224.0},
+    "sift10m": {"cpu": 2986.0, "ggc_ganns": 48.0, "ggc_song": 222.0},
+}
+
+#: Table III — HNSW construction seconds: CPU GraphCon_HNSW and the two
+#: GGraphCon variants.
+PAPER_TABLE3: Dict[str, Dict[str, float]] = {
+    "sift1m": {"cpu": 313.0, "ggc_ganns": 11.0, "ggc_song": 37.0},
+    "gist": {"cpu": 2138.0, "ggc_ganns": 48.0, "ggc_song": 68.0},
+    "nytimes": {"cpu": 324.0, "ggc_ganns": 4.0, "ggc_song": 12.0},
+    "glove200": {"cpu": 5255.0, "ggc_ganns": 17.0, "ggc_song": 52.0},
+    "uq_v": {"cpu": 1737.0, "ggc_ganns": 47.0, "ggc_song": 215.0},
+    "msong": {"cpu": 823.0, "ggc_ganns": 20.0, "ggc_song": 48.0},
+    "notre": {"cpu": 85.0, "ggc_ganns": 3.2, "ggc_song": 11.0},
+    "ukbench": {"cpu": 342.0, "ggc_ganns": 11.0, "ggc_song": 38.0},
+    "deep": {"cpu": 4550.0, "ggc_ganns": 70.2, "ggc_song": 308.0},
+    "sift10m": {"cpu": 2823.0, "ggc_ganns": 82.0, "ggc_song": 338.0},
+}
+
+#: Figure 11 text — GSerial on SIFT1M: 3810 s (versus 8.5 s GGraphCon).
+PAPER_GSERIAL_SIFT1M = 3810.0
+
+#: Figure 12 — graph quality: on SIFT1M, GNaiveParallel tops out at recall
+#: ~0.7 even at e = 100 while GGraphCon and the sequential CPU build both
+#: reach ~0.92.
+PAPER_FIG12 = {"naive_ceiling": 0.70, "ggc_ceiling": 0.92}
+
+#: Figure 13 — construction time grows roughly linearly in d_max (32->128).
+PAPER_FIG13_LINEARITY = "almost linear"
+
+#: Figure 14 — 50 -> 800 thread blocks (16x) gives ~10-13x on both the
+#: distance and the data-structure components.
+PAPER_FIG14_SPEEDUP = (10.0, 13.0)
+
+#: GGraphCon_GANNS over GGraphCon_SONG construction speedup (Section V-B):
+#: 2-3.3x on regular datasets, 1.4-2.2x on hard ones.
+PAPER_GGC_KERNEL_SPEEDUP = {"regular": (2.0, 3.3), "hard": (1.4, 2.2)}
+
+#: Table II speedups-over-CPU band quoted in the abstract: 40-50x on most
+#: datasets for GGraphCon_GANNS.
+PAPER_TABLE2_SPEEDUP_BAND = (29.0, 83.5)

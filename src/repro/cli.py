@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``datasets`` — list the Table I stand-ins and their properties.
+- ``build``    — build an index over a stand-in dataset and save it.
+- ``search``   — load a saved index, run held-out queries, report
+  recall and simulated throughput.
+- ``sweep``    — a miniature Figure 6: throughput-vs-recall curves for
+  GANNS and SONG on one dataset.
+- ``tune``     — find the fastest setting meeting a recall target.
+- ``device``   — show the simulated device and cost-table calibration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("dataset", help="Table I stand-in name, e.g. sift1m")
+    parser.add_argument("--points", type=int, default=5000,
+                        help="stand-in size (default 5000)")
+    parser.add_argument("--queries", type=int, default=200,
+                        help="held-out query count (default 200)")
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    from repro.bench.report import format_table
+    from repro.datasets.catalog import DATASET_SPECS
+
+    rows = [[spec.name, spec.kind, spec.n_dims,
+             f"{spec.paper_points / 1e6:g}M", spec.metric,
+             "hard" if spec.hard else ""]
+            for spec in DATASET_SPECS.values()]
+    print(format_table(
+        ["name", "type", "dims", "paper size", "metric", ""], rows,
+        title="Table I stand-ins (synthetic; sizes scale on load)"))
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.core.index import GannsIndex
+    from repro.core.params import BuildParams
+    from repro.datasets.catalog import load_dataset
+
+    dataset = load_dataset(args.dataset, n_points=args.points,
+                           n_queries=args.queries)
+    params = BuildParams(d_min=args.d_min, d_max=args.d_max,
+                         n_blocks=args.blocks)
+    index = GannsIndex.build(dataset.points, graph_type=args.graph_type,
+                             strategy=args.strategy,
+                             metric=dataset.metric_name, params=params,
+                             search_kernel=args.kernel)
+    report = index.build_report
+    print(f"built {report.algorithm} over {dataset.n_points} points: "
+          f"simulated {report.seconds * 1e3:.1f} ms")
+    from repro.bench.report import format_phase_bars
+    print(format_phase_bars(report.phase_seconds))
+    index.save(args.output)
+    print(f"saved index to {args.output}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.core.index import GannsIndex
+    from repro.datasets.catalog import load_dataset
+    from repro.metrics.recall import recall_at_k
+
+    index = GannsIndex.load(args.index)
+    dataset = load_dataset(args.dataset, n_points=len(index.points),
+                           n_queries=args.queries)
+    report = index.search_report(dataset.queries, k=args.k,
+                                 algorithm=args.algorithm, l_n=args.l_n,
+                                 e=args.e)
+    recall = recall_at_k(report.ids, dataset.ground_truth(args.k))
+    print(f"{args.algorithm}: recall@{args.k} = {recall:.3f}, "
+          f"{report.queries_per_second():,.0f} queries/s (simulated)")
+    for phase, share in sorted(report.breakdown().items()):
+        print(f"  {phase}: {share:.1%}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.report import format_table
+    from repro.bench.runner import GraphCache, sweep_ganns, sweep_song
+    from repro.core.params import BuildParams
+    from repro.datasets.catalog import load_dataset
+
+    dataset = load_dataset(args.dataset, n_points=args.points,
+                           n_queries=args.queries)
+    cache = GraphCache()
+    graph = cache.nsw_graph(dataset,
+                            BuildParams(d_min=args.d_min,
+                                        d_max=args.d_max))
+    ganns = sweep_ganns(graph, dataset, args.k,
+                        [(32, 16), (64, 32), (64, 64), (128, 96),
+                         (128, 128), (256, 192)])
+    song = sweep_song(graph, dataset, args.k, [16, 32, 64, 96, 128, 192])
+    rows = ([["ganns", f"l_n={p.setting[0]} e={p.setting[1]}",
+              p.recall, p.qps] for p in ganns]
+            + [["song", f"pq={p.setting[0]}", p.recall, p.qps]
+               for p in song])
+    print(format_table(["algo", "setting", "recall", "queries/s"], rows,
+                       title=f"{dataset.name}: throughput vs recall "
+                             f"(k={args.k})"))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.bench.runner import GraphCache
+    from repro.core.params import BuildParams
+    from repro.core.tuner import tune_search
+    from repro.datasets.catalog import load_dataset
+
+    dataset = load_dataset(args.dataset, n_points=args.points,
+                           n_queries=args.queries)
+    cache = GraphCache()
+    graph = cache.nsw_graph(dataset,
+                            BuildParams(d_min=args.d_min,
+                                        d_max=args.d_max))
+    result = tune_search(graph, dataset.points, dataset.queries,
+                         target_recall=args.target, k=args.k,
+                         algorithm=args.algorithm)
+    status = "met" if result.target_met else "NOT met (best effort)"
+    print(f"target recall {args.target}: {status}")
+    print(f"chosen {result.algorithm} setting {result.setting}: "
+          f"recall {result.recall:.3f}, "
+          f"{result.qps:,.0f} queries/s (simulated)")
+    print("evaluations:")
+    for setting, recall, qps in result.evaluations:
+        print(f"  {setting}: recall {recall:.3f}, {qps:,.0f} q/s")
+    return 0
+
+
+def _cmd_device(_args: argparse.Namespace) -> int:
+    from repro.gpusim.costs import DEFAULT_COSTS
+    from repro.gpusim.device import QUADRO_P5000
+
+    device = QUADRO_P5000
+    print(f"{device.name}")
+    print(f"  {device.num_sms} SMs x {device.cores_per_sm} cores "
+          f"@ {device.clock_ghz} GHz ({device.total_cores} cores)")
+    print(f"  shared memory {device.shared_mem_per_block_bytes // 1024} KB"
+          f"/block, registers "
+          f"{device.register_file_per_sm_bytes // 1024} KB/SM")
+    print(f"  PCIe {device.pcie_bandwidth_gbps} GB/s")
+    print(f"  concurrency at 32 threads/block: "
+          f"{device.concurrent_blocks(32)} blocks")
+    print("cost table (cycles):")
+    for field_name, value in DEFAULT_COSTS.__dict__.items():
+        print(f"  {field_name}: {value:g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GANNS reproduction: GPU proximity-graph ANN search "
+                    "and construction on a simulated device.")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list Table I stand-ins")
+
+    build = sub.add_parser("build", help="build and save an index")
+    _add_dataset_arguments(build)
+    build.add_argument("--output", "-o", default="index.npz")
+    build.add_argument("--graph-type", choices=("nsw", "hnsw", "knn"),
+                       default="nsw")
+    build.add_argument("--strategy",
+                       choices=("ggraphcon", "naive-parallel", "serial"),
+                       default="ggraphcon")
+    build.add_argument("--kernel", choices=("ganns", "song"),
+                       default="ganns")
+    build.add_argument("--d-min", type=int, default=16)
+    build.add_argument("--d-max", type=int, default=32)
+    build.add_argument("--blocks", type=int, default=64)
+
+    search = sub.add_parser("search", help="search a saved index")
+    _add_dataset_arguments(search)
+    search.add_argument("--index", "-i", default="index.npz")
+    search.add_argument("--algorithm", choices=("ganns", "song", "beam"),
+                        default="ganns")
+    search.add_argument("-k", type=int, default=10)
+    search.add_argument("--l-n", type=int, default=64, dest="l_n")
+    search.add_argument("-e", type=int, default=None)
+
+    sweep = sub.add_parser("sweep",
+                           help="mini Figure 6 on one dataset")
+    _add_dataset_arguments(sweep)
+    sweep.add_argument("-k", type=int, default=10)
+    sweep.add_argument("--d-min", type=int, default=16)
+    sweep.add_argument("--d-max", type=int, default=32)
+
+    tune = sub.add_parser("tune",
+                          help="fastest setting for a recall target")
+    _add_dataset_arguments(tune)
+    tune.add_argument("--target", type=float, default=0.9)
+    tune.add_argument("-k", type=int, default=10)
+    tune.add_argument("--algorithm", choices=("ganns", "song"),
+                      default="ganns")
+    tune.add_argument("--d-min", type=int, default=16)
+    tune.add_argument("--d-max", type=int, default=32)
+
+    sub.add_parser("device", help="show the simulated device")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "build": _cmd_build,
+        "search": _cmd_search,
+        "sweep": _cmd_sweep,
+        "tune": _cmd_tune,
+        "device": _cmd_device,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,325 @@
+"""GGraphCon: divide-and-conquer GPU NSW construction (Algorithm 2).
+
+The two straightforward schemes both fail (Section IV-A): sequential
+insertion wastes all inter-block parallelism, and naive batch-parallel
+insertion ignores links between points of the same batch and ruins graph
+quality.  GGraphCon gets both properties at once:
+
+- **Phase 1 — local graph construction.**  The points are partitioned into
+  ``t + 1`` equal groups; each group builds its own small NSW graph inside
+  one thread block (sequential within the block, all blocks in parallel).
+  Each point's search results are recorded twice: in the graph ``G`` and in
+  ``G'`` (``v.N'``), the *forward* neighbors among earlier points of the
+  same group.
+
+- **Phase 2 — local graph merge.**  The remaining ``t`` local graphs merge
+  into ``G_0`` one after another.  For group ``P_i``: (step 1) every vertex
+  searches ``d_min`` neighbors against the current ``G_0`` — one block per
+  vertex, all in parallel — and merges them with its saved ``v.N'`` to form
+  its final forward edges; the implied backward edges go into an edge list
+  ``E``.  (Step 2) ``E`` is bitonic-sorted by starting vertex and turned
+  into CSR segments with a flag + prefix-sum pass.  (Step 3) each starting
+  vertex's segment is bitonic-merged into its adjacency row, best ``d_max``
+  kept.
+
+With exact neighbor search the result provably equals the sequentially
+inserted NSW graph (Section IV-C); the test suite verifies that theorem,
+and Figure 12's benchmark shows the approximate-search quality match.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.baselines.beam import BeamSearchResult, beam_search
+from repro.baselines.nsw_cpu import exact_prefix_knn
+from repro.core.construction_costs import price_search
+from repro.core.params import BuildParams
+from repro.core.results import ConstructionReport
+from repro.errors import ConstructionError
+from repro.graphs.adjacency import ProximityGraph
+from repro.gpusim.costs import CostTable, DEFAULT_COSTS
+from repro.gpusim.device import DeviceSpec, QUADRO_P5000
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.scan import csr_offsets_from_sorted_ids
+from repro.gpusim.tracker import PhaseCategory
+from repro.metrics.distance import get_metric
+
+
+def _exact_beam_stub(n_candidates: int) -> BeamSearchResult:
+    """Counter stub for exact-mode searches (used by the theorem tests)."""
+    return BeamSearchResult(
+        ids=np.empty(0, dtype=np.int64), dists=np.empty(0),
+        n_iterations=max(n_candidates, 1),
+        n_distance_computations=n_candidates,
+        n_heap_ops=0, n_hash_probes=n_candidates)
+
+
+class _TimeAccumulator:
+    """Collects per-phase seconds and the distance/structure split."""
+
+    def __init__(self) -> None:
+        self.phase_seconds: Dict[str, float] = {}
+        self.category_seconds: Dict[PhaseCategory, float] = {
+            PhaseCategory.DISTANCE: 0.0,
+            PhaseCategory.STRUCTURE: 0.0,
+        }
+        self.total_seconds = 0.0
+
+    def add(self, phase: str, seconds: float, distance_cycles: float,
+            structure_cycles: float) -> None:
+        """Record a launch, splitting its time by the cycle mix."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+        self.total_seconds += seconds
+        mix = distance_cycles + structure_cycles
+        if mix > 0:
+            self.category_seconds[PhaseCategory.DISTANCE] += (
+                seconds * distance_cycles / mix)
+            self.category_seconds[PhaseCategory.STRUCTURE] += (
+                seconds * structure_cycles / mix)
+        else:
+            self.category_seconds[PhaseCategory.STRUCTURE] += seconds
+
+
+def _insert_into_local_graph(local_graph: ProximityGraph,
+                             local_points: np.ndarray, local_vertex: int,
+                             d_min: int, ef: int, metric, exact: bool
+                             ) -> Tuple[np.ndarray, np.ndarray,
+                                        BeamSearchResult]:
+    """One sequential NSW insertion into a group's local graph.
+
+    Returns the chosen neighbor ids (local), their distances, and the
+    counted traversal for pricing.
+    """
+    if exact:
+        neighbor_ids = exact_prefix_knn(local_points, local_vertex, d_min,
+                                        metric)
+        traversal = _exact_beam_stub(local_vertex)
+    elif local_vertex <= d_min:
+        neighbor_ids = np.arange(local_vertex, dtype=np.int64)
+        traversal = _exact_beam_stub(local_vertex)
+    else:
+        result = beam_search(local_graph, local_points,
+                             local_points[local_vertex], k=d_min, ef=ef,
+                             entry=0, metric=metric)
+        neighbor_ids = result.ids
+        traversal = result
+    if len(neighbor_ids):
+        dists = metric.one_to_many(local_points[local_vertex],
+                                   local_points[neighbor_ids])
+    else:
+        dists = np.empty(0)
+    return neighbor_ids, dists, traversal
+
+
+def build_nsw_gpu(points: np.ndarray, params: BuildParams,
+                  search_kernel: str = "ganns", metric: str = "euclidean",
+                  exact: bool = False,
+                  device: DeviceSpec = QUADRO_P5000,
+                  costs: CostTable = DEFAULT_COSTS) -> ConstructionReport:
+    """Build an NSW graph with GGraphCon on the simulated GPU.
+
+    Args:
+        points: ``(n, d)`` float matrix; row order is insertion order.
+        params: Build parameters; ``params.n_blocks`` is both the group
+            count ``t + 1`` and the grid width of the merge launches.
+        search_kernel: ``"ganns"`` or ``"song"`` — which search kernel the
+            construction uses (GGraphCon_GANNS vs GGraphCon_SONG).
+        metric: Metric name.
+        exact: Use exact nearest-neighbor search everywhere.  This is the
+            hypothesis of the Section IV-C equivalence theorem; slower, and
+            meant for tests and small inputs.
+        device: Simulated device.
+        costs: Cycle cost table.
+
+    Returns:
+        A :class:`repro.core.results.ConstructionReport` whose ``graph``
+        is the merged ``G_0``.
+    """
+    points = np.asarray(points)
+    if points.ndim != 2 or len(points) == 0:
+        raise ConstructionError(
+            f"points must be a non-empty 2-D matrix, got shape {points.shape}"
+        )
+    n = len(points)
+    n_dims = points.shape[1]
+    metric_obj = get_metric(metric)
+    d_min, d_max = params.d_min, params.d_max
+    ef = params.effective_ef
+    l_n = params.effective_search_l_n
+    n_t = params.n_threads
+    n_groups = min(params.n_blocks, n)
+
+    kernel = KernelLaunch(device, n_t, costs=costs)
+    times = _TimeAccumulator()
+
+    # Partition into contiguous groups (insertion ids are preserved, which
+    # is what the Section IV-C proof needs).
+    boundaries = np.linspace(0, n, n_groups + 1).astype(np.int64)
+    groups: List[np.ndarray] = [
+        np.arange(boundaries[i], boundaries[i + 1])
+        for i in range(n_groups) if boundaries[i] < boundaries[i + 1]
+    ]
+    n_groups = len(groups)
+
+    graph = ProximityGraph(n, d_max, metric)
+    # G': forward neighbors of each vertex within its own group.
+    forward_ids = np.full((n, d_min), -1, dtype=np.int64)
+    forward_dists = np.full((n, d_min), np.inf, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Phase 1 — local graph construction (one block per group).
+    # ------------------------------------------------------------------
+    local_graphs: List[ProximityGraph] = []
+    block_cycles = np.zeros(n_groups)
+    block_distance = np.zeros(n_groups)
+    block_structure = np.zeros(n_groups)
+    for g, group in enumerate(groups):
+        local_points = points[group]
+        local_graph = ProximityGraph(len(group), d_max, metric)
+        for local_vertex in range(1, len(group)):
+            neighbor_ids, dists, traversal = _insert_into_local_graph(
+                local_graph, local_points, local_vertex, d_min, ef,
+                metric_obj, exact)
+            charge = price_search(search_kernel, traversal, l_n, d_max,
+                                  n_dims, n_t, ef, costs)
+            block_distance[g] += charge.distance_cycles
+            block_structure[g] += charge.structure_cycles
+            insert_cost = costs.backward_insert_cycles(d_max, n_t)
+            for u, dist in zip(neighbor_ids, dists):
+                local_graph.insert_edge(local_vertex, int(u), float(dist))
+                local_graph.insert_edge(int(u), local_vertex, float(dist))
+                block_structure[g] += 2 * insert_cost
+            count = len(neighbor_ids)
+            forward_ids[group[local_vertex], :count] = group[neighbor_ids]
+            forward_dists[group[local_vertex], :count] = dists
+        local_graphs.append(local_graph)
+        block_cycles[g] = block_distance[g] + block_structure[g]
+
+    launch = kernel.run(block_cycles)
+    times.add("local_construction", launch.seconds,
+              float(block_distance.sum()), float(block_structure.sum()))
+
+    # Seed G_0 with group 0's local graph.
+    group0 = groups[0]
+    for local_vertex, global_vertex in enumerate(group0):
+        degree = local_graphs[0].degrees[local_vertex]
+        local_row = local_graphs[0].neighbor_ids[local_vertex, :degree]
+        graph.set_row(global_vertex, group0[local_row],
+                      local_graphs[0].neighbor_dists[local_vertex, :degree])
+
+    # ------------------------------------------------------------------
+    # Phase 2 — iteratively merge local graphs into G_0.
+    # ------------------------------------------------------------------
+    merge_iterations = 0
+    for i in range(1, n_groups):
+        merge_iterations += 1
+        group = groups[i]
+        prefix_end = int(group[0])  # G_0 currently holds points[:prefix_end]
+
+        # Step 1 — per-vertex forward-edge search against G_0 (one block
+        # per vertex) and backward-edge emission into E.
+        vertex_cycles = np.zeros(len(group))
+        step_distance = 0.0
+        step_structure = 0.0
+        edge_src: List[int] = []
+        edge_dst: List[int] = []
+        edge_dist: List[float] = []
+        merge_forward_cost = costs.ganns_merge_cycles(d_min, d_min, n_t)
+        for j, v in enumerate(group):
+            if exact:
+                # Exact d_min neighbors among G_0's points only; the
+                # within-group part comes from v.N', exercising the
+                # N ∪ N' merge the Section IV-C proof relies on.
+                all_prefix = metric_obj.one_to_many(points[v],
+                                                    points[:prefix_end])
+                take = min(d_min, prefix_end)
+                part = np.argpartition(all_prefix, take - 1)[:take] \
+                    if take < prefix_end else np.arange(prefix_end)
+                sub_order = np.lexsort((part, all_prefix[part]))
+                ids = part[sub_order][:take].astype(np.int64)
+                dists = all_prefix[ids]
+                traversal = _exact_beam_stub(prefix_end)
+            else:
+                result = beam_search(graph, points, points[v], k=d_min,
+                                     ef=ef, entry=0, metric=metric_obj)
+                ids, dists = result.ids, result.dists
+                traversal = result
+            charge = price_search(search_kernel, traversal, l_n, d_max,
+                                  n_dims, n_t, ef, costs)
+            vertex_cycles[j] = charge.total + merge_forward_cost
+            step_distance += charge.distance_cycles
+            step_structure += charge.structure_cycles + merge_forward_cost
+
+            # v.N := top d_min of (search results ∪ v.N').
+            mask = forward_ids[v] >= 0
+            all_ids = np.concatenate([ids, forward_ids[v][mask]])
+            all_dists = np.concatenate([dists, forward_dists[v][mask]])
+            order = np.lexsort((all_ids, all_dists))
+            all_ids, all_dists = all_ids[order], all_dists[order]
+            _, unique_idx = np.unique(all_ids, return_index=True)
+            unique_idx.sort()
+            all_ids = all_ids[unique_idx][:d_min]
+            all_dists = all_dists[unique_idx][:d_min]
+            order = np.lexsort((all_ids, all_dists))
+            graph.set_row(int(v), all_ids[order], all_dists[order])
+
+            for u, dist in zip(all_ids, all_dists):
+                edge_src.append(int(u))
+                edge_dst.append(int(v))
+                edge_dist.append(float(dist))
+
+        launch = kernel.run(vertex_cycles)
+        times.add("merge_search", launch.seconds, step_distance,
+                  step_structure)
+
+        if not edge_src:
+            continue
+
+        # Step 2 — GatherScatter: bitonic sort E by (starting vertex,
+        # distance, ending vertex), then flags + prefix sum give CSR
+        # segment offsets.
+        src = np.asarray(edge_src, dtype=np.int64)
+        dst = np.asarray(edge_dst, dtype=np.int64)
+        dist = np.asarray(edge_dist, dtype=np.float64)
+        order = np.lexsort((dst, dist, src))
+        src, dst, dist = src[order], dst[order], dist[order]
+        offsets = csr_offsets_from_sorted_ids(src)
+
+        grid_threads = max(n_groups * n_t, n_t)
+        sort_cycles = costs.bitonic_sort_cycles(len(src), grid_threads)
+        scan_cycles = costs.prefix_sum_cycles(len(src), grid_threads)
+        seconds = kernel.cycles_to_seconds(sort_cycles + scan_cycles)
+        times.add("merge_gather_scatter", seconds, 0.0,
+                  sort_cycles + scan_cycles)
+
+        # Step 3 — one block per starting vertex merges its backward-edge
+        # segment into the adjacency row (best d_max survive).
+        n_segments = len(offsets) - 1
+        segment_cycles = np.zeros(n_segments)
+        for s in range(n_segments):
+            lo, hi = offsets[s], offsets[s + 1]
+            u = int(src[lo])
+            graph.merge_row(u, dst[lo:hi], dist[lo:hi])
+            segment_cycles[s] = costs.adjacency_merge_cycles(
+                d_max, int(hi - lo), n_t)
+        launch = kernel.run(segment_cycles)
+        times.add("merge_update", launch.seconds, 0.0,
+                  float(segment_cycles.sum()))
+
+    return ConstructionReport(
+        algorithm=f"ggraphcon-{search_kernel}",
+        graph=graph,
+        seconds=times.total_seconds,
+        phase_seconds=times.phase_seconds,
+        category_seconds=times.category_seconds,
+        n_points=n,
+        details={
+            "n_groups": float(n_groups),
+            "merge_iterations": float(merge_iterations),
+            "d_min": float(d_min),
+            "d_max": float(d_max),
+        },
+    )

@@ -1,0 +1,86 @@
+"""Cycle pricing of construction-time searches.
+
+GGraphCon runs one nearest-neighbor search per inserted point, with either
+GANNS or SONG as the search kernel (the GGraphCon_GANNS / GGraphCon_SONG
+variants of Section V-B).  The two kernels traverse the graph the same way
+— the paper shows GANNS follows the same search path — so the construction
+code performs each traversal once (via the counted CPU beam search, which
+is exact about iterations, neighbor scans and fresh-candidate counts) and
+prices it under the chosen kernel's cost model:
+
+- GANNS computes a distance for *every* scanned neighbor (lazy check) but
+  runs all structure phases in parallel;
+- SONG computes distances only for *unvisited* neighbors (hash check) but
+  serialises stages 1 and 3 on the host thread.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.beam import BeamSearchResult
+from repro.errors import ConfigurationError
+from repro.gpusim.costs import CostTable
+
+
+VALID_KERNELS = ("ganns", "song")
+
+
+@dataclass(frozen=True)
+class SearchCycleCharge:
+    """Cycles of one construction-time search, split by category."""
+
+    distance_cycles: float
+    structure_cycles: float
+
+    @property
+    def total(self) -> float:
+        """Distance + structure cycles."""
+        return self.distance_cycles + self.structure_cycles
+
+
+def price_search(kernel: str, result: BeamSearchResult, l_n: int, l_t: int,
+                 n_dims: int, n_threads: int, pq_bound: int,
+                 costs: CostTable) -> SearchCycleCharge:
+    """Price one traversal under a search kernel's cost model.
+
+    Args:
+        kernel: ``"ganns"`` or ``"song"``.
+        result: Counted traversal (iterations, scans, fresh candidates).
+        l_n: GANNS pool length used during construction searches.
+        l_t: Neighbor-buffer length (the graph's ``d_max``).
+        n_dims: Point dimensionality.
+        n_threads: Threads per block.
+        pq_bound: SONG's queue bound (the construction ``ef``).
+        costs: Cycle cost table.
+
+    Returns:
+        A :class:`SearchCycleCharge`.
+    """
+    if kernel not in VALID_KERNELS:
+        raise ConfigurationError(
+            f"unknown search kernel {kernel!r}; valid kernels: "
+            f"{', '.join(VALID_KERNELS)}"
+        )
+    per_vector = costs.single_distance_cycles(n_dims, n_threads)
+    n_scanned = result.n_hash_probes
+    n_fresh = result.n_distance_computations
+    n_iter = max(result.n_iterations, 1)
+
+    if kernel == "ganns":
+        structure = n_iter * costs.ganns_structure_cycles(l_n, l_t,
+                                                          n_threads)
+        distance = n_scanned * per_vector + per_vector  # + entry vertex
+        return SearchCycleCharge(distance_cycles=distance,
+                                 structure_cycles=structure)
+
+    # SONG: host-thread serialized locate + update, hash-filtered distance.
+    log_bound = math.ceil(math.log2(max(pq_bound, 2)))
+    locate = (n_iter * costs.heap_op_cycles * log_bound
+              + n_scanned * (costs.hash_probe_cycles + costs.alu_cycles))
+    update = n_fresh * (costs.host_insert_cycles * log_bound
+                        + costs.hash_probe_cycles)
+    distance = n_fresh * per_vector + per_vector
+    return SearchCycleCharge(distance_cycles=distance,
+                             structure_cycles=locate + update)

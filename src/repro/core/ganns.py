@@ -1,0 +1,263 @@
+"""GANNS: the GPU-friendly proximity-graph search (Section III-B).
+
+The search replaces Algorithm 1's dynamically-maintained priority queues
+and visited hash table with two fixed-length arrays and two lazy
+strategies:
+
+- *lazy update*: the pool ``N`` (length ``l_n``) holds the top results and
+  the potential exploring vertices at once, kept sorted; the neighbor
+  buffer ``T`` (length ``l_t = d_max``) is bitonic-sorted and bitonic-merged
+  into ``N`` wholesale instead of element-by-element queue updates.
+- *lazy check*: no visited hash — a neighbor's distance may be recomputed
+  redundantly, but before merging, ``T`` is checked against ``N`` by
+  parallel binary search so redundant *exploration* cannot propagate.
+
+Each iteration runs the six phases of Figure 3: (1) candidate locating via
+ballot/ffs, (2) neighborhood exploration, (3) bulk distance computation,
+(4) lazy check, (5) bitonic sort of ``T``, (6) bitonic merge into ``N``.
+
+This module is the *batched* implementation: all queries advance in
+lock-step (exactly how a grid of thread blocks executes), every phase is a
+vectorised NumPy operation over the active queries, and each query's lane
+in the cycle tracker is charged with the paper's per-phase cost formulas.
+The faithful single-query kernel assembled from warp primitives lives in
+:mod:`repro.core.ganns_kernel`; the test suite proves the two agree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.core.params import SearchParams
+from repro.core.results import SearchReport, make_search_tracker
+from repro.errors import SearchError
+from repro.graphs.adjacency import ProximityGraph
+from repro.gpusim.costs import CostTable, DEFAULT_COSTS
+from repro.gpusim.memory import SharedMemoryBudget
+
+#: Safety cap on iterations, as a multiple of the explore budget; the
+#: search provably terminates long before this — hitting the cap means a
+#: broken graph (e.g. corrupted adjacency) and raises.
+_MAX_ITERATION_FACTOR = 64
+
+
+def _group_distance_fn(metric_name: str, points: np.ndarray,
+                       queries: np.ndarray
+                       ) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    """Vectorised (active-queries x candidates) distance evaluator.
+
+    Returns a function mapping (query row indices ``(m,)``, candidate ids
+    ``(m, w)``) to distances ``(m, w)``.  Cosine pre-normalises once so the
+    per-iteration work is a single einsum, mirroring how a kernel would
+    keep normalised vectors in global memory.
+    """
+    if metric_name == "euclidean":
+        pts = np.asarray(points, dtype=np.float64)
+        qs = np.asarray(queries, dtype=np.float64)
+
+        def euclidean(query_rows: np.ndarray, cand_ids: np.ndarray
+                      ) -> np.ndarray:
+            gathered = pts[cand_ids]
+            diff = gathered - qs[query_rows][:, None, :]
+            return np.einsum("mtd,mtd->mt", diff, diff)
+
+        return euclidean
+
+    if metric_name == "cosine":
+        def _unit(matrix: np.ndarray) -> np.ndarray:
+            matrix = np.asarray(matrix, dtype=np.float64)
+            norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+            return matrix / np.where(norms > 0.0, norms, 1.0)
+
+        unit_points = _unit(points)
+        unit_queries = _unit(queries)
+
+        def cosine(query_rows: np.ndarray, cand_ids: np.ndarray
+                   ) -> np.ndarray:
+            gathered = unit_points[cand_ids]
+            sims = np.einsum("mtd,md->mt", gathered,
+                             unit_queries[query_rows])
+            return 1.0 - sims
+
+        return cosine
+
+    if metric_name == "ip":
+        pts_ip = np.asarray(points, dtype=np.float64)
+        qs_ip = np.asarray(queries, dtype=np.float64)
+
+        def inner_product(query_rows: np.ndarray, cand_ids: np.ndarray
+                          ) -> np.ndarray:
+            gathered = pts_ip[cand_ids]
+            return -np.einsum("mtd,md->mt", gathered, qs_ip[query_rows])
+
+        return inner_product
+
+    raise SearchError(f"unsupported metric for GANNS search: {metric_name!r}")
+
+
+def ganns_search(graph: ProximityGraph, points: np.ndarray,
+                 queries: np.ndarray, params: SearchParams,
+                 entry: Union[int, np.ndarray] = 0,
+                 costs: CostTable = DEFAULT_COSTS,
+                 lazy_check: bool = True) -> SearchReport:
+    """Batched GANNS search: one simulated thread block per query.
+
+    Args:
+        graph: Proximity graph over ``points`` (``l_t`` is its ``d_max``).
+        points: ``(n, d)`` data matrix.
+        queries: ``(m, d)`` query matrix.
+        params: Search parameters (``k``, ``l_n``, ``e``, ``n_threads``).
+        entry: Start vertex, or a per-query ``(m,)`` id array (as produced
+            by an HNSW top-down descent).
+        costs: Cycle cost table.
+        lazy_check: Disable to run the ablation *without* phase (4): the
+            duplicate-exploration guard is skipped and redundant work
+            propagates (exploration of a vertex still happens at most once
+            per pool residency, but re-discovered vertices re-enter ``N``).
+
+    Returns:
+        A :class:`repro.core.results.SearchReport`.
+    """
+    points = np.asarray(points)
+    queries = np.asarray(queries)
+    if queries.ndim != 2:
+        raise SearchError(
+            f"queries must be 2-D (n_queries, d), got shape {queries.shape}"
+        )
+    if points.ndim != 2 or points.shape[1] != queries.shape[1]:
+        raise SearchError(
+            f"points {points.shape} and queries {queries.shape} disagree "
+            f"on dimensionality"
+        )
+    n_queries = len(queries)
+    if n_queries == 0:
+        raise SearchError("queries must not be empty")
+    n_dims = points.shape[1]
+    l_n = params.l_n
+    l_t = graph.d_max
+    e_budget = min(params.explore_budget, l_n)
+    n_t = params.n_threads
+
+    entries = np.broadcast_to(np.asarray(entry, dtype=np.int64),
+                              (n_queries,)).copy()
+    if entries.min() < 0 or entries.max() >= graph.n_vertices:
+        raise SearchError(
+            f"entry vertices must lie in [0, {graph.n_vertices})"
+        )
+
+    tracker = make_search_tracker(n_queries, "ganns")
+    distance_fn = _group_distance_fn(graph.metric_name, points, queries)
+
+    # Pool N: (dist, id, explored), sorted ascending by (dist, id); padding
+    # is (+inf, -1, explored=True) so it is never selected for exploration.
+    pool_dists = np.full((n_queries, l_n), np.inf, dtype=np.float64)
+    pool_ids = np.full((n_queries, l_n), -1, dtype=np.int64)
+    pool_explored = np.ones((n_queries, l_n), dtype=bool)
+
+    # Initialisation: load the entry vertex into N.
+    entry_dists = distance_fn(np.arange(n_queries), entries[:, None])[:, 0]
+    pool_dists[:, 0] = entry_dists
+    pool_ids[:, 0] = entries
+    pool_explored[:, 0] = False
+    tracker.charge("bulk_distance",
+                   costs.single_distance_cycles(n_dims, n_t))
+    n_distance_computations = n_queries
+
+    # Per-iteration phase costs are constant in (l_n, l_t, n_t); hoist them.
+    locate_cost = costs.ganns_candidate_locate_cycles(l_n, n_t)
+    explore_cost = costs.ganns_explore_cycles(l_t, n_t)
+    check_cost = costs.ganns_lazy_check_cycles(l_n, l_t, n_t)
+    sort_cost = costs.ganns_sort_cycles(l_t, n_t)
+    merge_cost = costs.ganns_merge_cycles(l_n, l_t, n_t)
+    per_vector_cost = costs.single_distance_cycles(n_dims, n_t)
+
+    active = np.ones(n_queries, dtype=bool)
+    iterations = np.zeros(n_queries, dtype=np.int64)
+    max_iterations = _MAX_ITERATION_FACTOR * e_budget + 256
+
+    while True:
+        act = np.flatnonzero(active)
+        if len(act) == 0:
+            break
+
+        # Phase 1 — candidate locating: first unexplored entry among the
+        # first e pool slots (ballot + ffs over the explored flags).
+        tracker.charge("candidate_locating", locate_cost, act)
+        window = ~pool_explored[act, :e_budget]
+        has_work = window.any(axis=1)
+        finished = act[~has_work]
+        active[finished] = False
+        act = act[has_work]
+        if len(act) == 0:
+            continue
+        slot = np.argmax(window[has_work], axis=1)
+        iterations[act] += 1
+        if iterations.max() > max_iterations:
+            raise SearchError(
+                f"search exceeded {max_iterations} iterations; the graph "
+                f"is likely structurally corrupt"
+            )
+        exploring = pool_ids[act, slot]
+        pool_explored[act, slot] = True
+
+        # Phase 2 — neighborhood exploration: stream adjacency rows into T.
+        tracker.charge("neighborhood_exploration", explore_cost, act)
+        t_ids = graph.neighbor_ids[exploring].copy()
+        valid = t_ids >= 0
+        degrees = graph.degrees[exploring]
+
+        # Phase 3 — bulk distance computation (lazy check means every
+        # loaded neighbor is computed, visited or not).
+        t_dists = distance_fn(act, np.where(valid, t_ids, 0))
+        t_dists[~valid] = np.inf
+        tracker.charge("bulk_distance", degrees * per_vector_cost, act)
+        n_distance_computations += int(degrees.sum())
+
+        # Phase 4 — lazy check: parallel binary search of T against N;
+        # anything already resident in the pool is invalidated so redundant
+        # exploration cannot propagate.
+        if lazy_check:
+            tracker.charge("lazy_check", check_cost, act)
+            duplicate = (t_ids[:, :, None] == pool_ids[act][:, None, :]
+                         ).any(axis=2)
+            dead = duplicate | ~valid
+        else:
+            dead = ~valid
+        t_dists[dead] = np.inf
+        t_ids = np.where(dead, -1, t_ids)
+
+        # Phase 5 — bitonic sort of T by (distance, id); invalidated
+        # entries carry +inf and sink to the tail.
+        tracker.charge("sorting", sort_cost, act)
+        order = np.lexsort((t_ids, t_dists), axis=1)
+        t_dists = np.take_along_axis(t_dists, order, axis=1)
+        t_ids = np.take_along_axis(t_ids, order, axis=1)
+
+        # Phase 6 — candidate update: bitonic merge of the two sorted runs,
+        # keeping the l_n best records in N.
+        tracker.charge("candidate_update", merge_cost, act)
+        all_dists = np.concatenate([pool_dists[act], t_dists], axis=1)
+        all_ids = np.concatenate([pool_ids[act], t_ids], axis=1)
+        all_explored = np.concatenate(
+            [pool_explored[act], np.ones_like(t_ids, dtype=bool)], axis=1)
+        all_explored[:, l_n:] = False
+        all_explored[:, l_n:][t_ids < 0] = True
+        merge_order = np.lexsort((all_ids, all_dists), axis=1)[:, :l_n]
+        pool_dists[act] = np.take_along_axis(all_dists, merge_order, axis=1)
+        pool_ids[act] = np.take_along_axis(all_ids, merge_order, axis=1)
+        pool_explored[act] = np.take_along_axis(all_explored, merge_order,
+                                                axis=1)
+
+    shared_mem = SharedMemoryBudget(l_n=l_n, l_t=l_t).total_bytes()
+    return SearchReport(
+        algorithm="ganns",
+        ids=pool_ids[:, :params.k].copy(),
+        dists=pool_dists[:, :params.k].copy(),
+        tracker=tracker,
+        n_threads=n_t,
+        shared_mem_bytes=shared_mem,
+        iterations=iterations,
+        n_distance_computations=n_distance_computations,
+    )

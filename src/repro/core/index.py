@@ -1,0 +1,306 @@
+"""High-level user API: :class:`GannsIndex`.
+
+Everything the library offers behind one object: build a proximity graph
+(NSW / HNSW / KNN, with any construction strategy), search it (GANNS, SONG
+or the CPU beam baseline), evaluate recall, and persist to disk.
+
+Example:
+    >>> from repro import GannsIndex
+    >>> index = GannsIndex.build(points, graph_type="nsw")
+    >>> ids, dists = index.search(queries, k=10)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.baselines.beam import beam_search_batch
+from repro.baselines.hnsw_cpu import hnsw_entry_descent
+from repro.baselines.song import SongParams, song_search
+from repro.core.construction import build_nsw_gpu
+from repro.core.ganns import ganns_search
+from repro.core.hnsw import build_hnsw_gpu, recover_original_ids
+from repro.core.knng import build_knn_graph_gpu
+from repro.core.naive import build_nsw_naive_parallel, build_nsw_serial_gpu
+from repro.core.params import BuildParams, SearchParams
+from repro.core.results import ConstructionReport, SearchReport
+from repro.errors import ConfigurationError, SearchError
+from repro.graphs.adjacency import HierarchicalGraph, ProximityGraph
+from repro.graphs.validation import validate_graph
+from repro.gpusim.sorting import next_pow2
+from repro.metrics.recall import recall_at_k
+
+GRAPH_TYPES = ("nsw", "hnsw", "knn")
+STRATEGIES = ("ggraphcon", "naive-parallel", "serial")
+SEARCH_ALGORITHMS = ("ganns", "song", "beam")
+
+_INDEX_FORMAT_VERSION = 1
+
+
+class GannsIndex:
+    """A built proximity-graph index over a fixed point set.
+
+    Build with :meth:`build` (or :meth:`from_graph` for a pre-built graph);
+    query with :meth:`search`.  For HNSW indices, ids returned by search
+    are automatically mapped back to the caller's original point ids.
+    """
+
+    def __init__(self, points: np.ndarray,
+                 graph: Union[ProximityGraph, HierarchicalGraph],
+                 graph_type: str, metric: str,
+                 order: Optional[np.ndarray] = None,
+                 build_report: Optional[ConstructionReport] = None):
+        if graph_type not in GRAPH_TYPES:
+            raise ConfigurationError(
+                f"unknown graph_type {graph_type!r}; valid: {GRAPH_TYPES}"
+            )
+        self.points = np.asarray(points)
+        self.graph = graph
+        self.graph_type = graph_type
+        self.metric = metric
+        #: HNSW only: ``order[shuffled_id] = original_id``.
+        self.order = order
+        self.build_report = build_report
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, points: np.ndarray, graph_type: str = "nsw",
+              strategy: str = "ggraphcon", metric: str = "euclidean",
+              params: Optional[BuildParams] = None,
+              search_kernel: str = "ganns", knn_k: int = 16,
+              validate: bool = True, **kwargs) -> "GannsIndex":
+        """Build an index.
+
+        Args:
+            points: ``(n, d)`` float matrix.
+            graph_type: ``"nsw"``, ``"hnsw"`` or ``"knn"``.
+            strategy: ``"ggraphcon"`` (the paper's scheme),
+                ``"naive-parallel"`` or ``"serial"`` (NSW only).
+            metric: ``"euclidean"`` or ``"cosine"``.
+            params: Build parameters (defaults to the evaluation defaults,
+                d_max=32 / d_min=16).
+            search_kernel: ``"ganns"`` or ``"song"`` construction searches.
+            knn_k: Row width for ``graph_type="knn"``.
+            validate: Run structural validation on the result.
+            **kwargs: Forwarded to the underlying construction function.
+
+        Returns:
+            A ready-to-search :class:`GannsIndex`.
+        """
+        if params is None:
+            params = BuildParams()
+        points = np.asarray(points)
+        order = None
+
+        if graph_type == "nsw":
+            if strategy == "ggraphcon":
+                report = build_nsw_gpu(points, params,
+                                       search_kernel=search_kernel,
+                                       metric=metric, **kwargs)
+            elif strategy == "naive-parallel":
+                report = build_nsw_naive_parallel(
+                    points, params, search_kernel=search_kernel,
+                    metric=metric, **kwargs)
+            elif strategy == "serial":
+                report = build_nsw_serial_gpu(
+                    points, params, search_kernel=search_kernel,
+                    metric=metric, **kwargs)
+            else:
+                raise ConfigurationError(
+                    f"unknown strategy {strategy!r}; valid: {STRATEGIES}"
+                )
+            graph = report.graph
+            index_points = points
+        elif graph_type == "hnsw":
+            if strategy != "ggraphcon":
+                raise ConfigurationError(
+                    "HNSW construction supports only the ggraphcon strategy"
+                )
+            report = build_hnsw_gpu(points, params,
+                                    search_kernel=search_kernel,
+                                    metric=metric, **kwargs)
+            graph = report.graph
+            order = report.order
+            index_points = points[order]
+        elif graph_type == "knn":
+            report = build_knn_graph_gpu(points, knn_k, params,
+                                         metric=metric, **kwargs)
+            graph = report.graph
+            index_points = points
+        else:
+            raise ConfigurationError(
+                f"unknown graph_type {graph_type!r}; valid: {GRAPH_TYPES}"
+            )
+
+        if validate:
+            flat = graph.bottom if isinstance(graph, HierarchicalGraph) \
+                else graph
+            validate_graph(flat)
+        return cls(index_points, graph, graph_type, metric, order=order,
+                   build_report=report)
+
+    @classmethod
+    def from_graph(cls, points: np.ndarray, graph: ProximityGraph,
+                   metric: Optional[str] = None) -> "GannsIndex":
+        """Wrap an externally built flat graph into an index."""
+        return cls(points, graph, "nsw",
+                   metric or graph.metric_name)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _flat_graph(self) -> ProximityGraph:
+        if isinstance(self.graph, HierarchicalGraph):
+            return self.graph.bottom
+        return self.graph
+
+    def _entries(self, queries: np.ndarray) -> Union[int, np.ndarray]:
+        """Per-query entry vertices (HNSW descends; flat graphs use 0)."""
+        if not isinstance(self.graph, HierarchicalGraph):
+            return 0
+        entries = np.empty(len(queries), dtype=np.int64)
+        for row, query in enumerate(queries):
+            entries[row], _ = hnsw_entry_descent(self.graph, self.points,
+                                                 query, self.metric)
+        return entries
+
+    def search_report(self, queries: np.ndarray, k: int = 10,
+                      algorithm: str = "ganns",
+                      l_n: Optional[int] = None, e: Optional[int] = None,
+                      n_threads: int = 32) -> SearchReport:
+        """Search and return the full :class:`SearchReport`.
+
+        Args:
+            queries: ``(m, d)`` query matrix.
+            k: Neighbors per query.
+            algorithm: ``"ganns"``, ``"song"`` or ``"beam"``.
+            l_n: GANNS pool length / SONG queue bound; defaults to the
+                smallest power of two >= ``4 * k`` (and >= 32).
+            e: GANNS explored-vertex budget.
+            n_threads: Threads per simulated block.
+        """
+        queries = np.asarray(queries)
+        if l_n is None:
+            l_n = max(32, next_pow2(4 * k))
+        flat = self._flat_graph()
+        entries = self._entries(queries)
+
+        if algorithm == "ganns":
+            params = SearchParams(k=k, l_n=l_n, e=e, n_threads=n_threads)
+            report = ganns_search(flat, self.points, queries, params,
+                                  entry=entries)
+        elif algorithm == "song":
+            params = SongParams(k=k, pq_bound=e or l_n, n_threads=n_threads)
+            report = song_search(flat, self.points, queries, params,
+                                 entry=entries)
+        elif algorithm == "beam":
+            entry0 = int(entries[0]) if isinstance(entries, np.ndarray) else 0
+            ids = beam_search_batch(flat, self.points, queries, k,
+                                    ef=e or l_n, entry=entry0)
+            from repro.core.results import make_search_tracker
+            report = SearchReport(
+                algorithm="beam", ids=ids,
+                dists=np.full(ids.shape, np.nan),
+                tracker=make_search_tracker(len(queries), "beam"),
+                n_threads=1, shared_mem_bytes=0,
+                iterations=np.zeros(len(queries), dtype=np.int64),
+                n_distance_computations=0)
+        else:
+            raise SearchError(
+                f"unknown algorithm {algorithm!r}; valid: "
+                f"{SEARCH_ALGORITHMS}"
+            )
+
+        if self.order is not None:
+            report.ids = recover_original_ids(report.ids, self.order)
+        return report
+
+    def search(self, queries: np.ndarray, k: int = 10,
+               algorithm: str = "ganns", **kwargs
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Search; returns ``(ids, dists)`` arrays of shape ``(m, k)``."""
+        report = self.search_report(queries, k, algorithm, **kwargs)
+        return report.ids, report.dists
+
+    def evaluate_recall(self, queries: np.ndarray,
+                        ground_truth: np.ndarray, k: int = 10,
+                        **kwargs) -> float:
+        """Recall of this index on a query set with known ground truth."""
+        ids, _ = self.search(queries, k, **kwargs)
+        return recall_at_k(ids, ground_truth[:, :k])
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write the index to a ``.npz`` archive (flat graphs only)."""
+        if isinstance(self.graph, HierarchicalGraph):
+            arrays = {
+                "kind": np.array("hierarchical"),
+                "n_layers": np.array(self.graph.n_layers),
+                "layer_sizes": np.asarray(self.graph.layer_sizes),
+            }
+            for i, layer in enumerate(self.graph.layers):
+                arrays[f"layer{i}_ids"] = layer.neighbor_ids
+                arrays[f"layer{i}_dists"] = layer.neighbor_dists
+                arrays[f"layer{i}_degrees"] = layer.degrees
+            d_max = self.graph.bottom.d_max
+        else:
+            arrays = {
+                "kind": np.array("flat"),
+                "graph_ids": self.graph.neighbor_ids,
+                "graph_dists": self.graph.neighbor_dists,
+                "graph_degrees": self.graph.degrees,
+            }
+            d_max = self.graph.d_max
+        arrays.update({
+            "format_version": np.array(_INDEX_FORMAT_VERSION),
+            "points": self.points,
+            "graph_type": np.array(self.graph_type),
+            "metric": np.array(self.metric),
+            "d_max": np.array(d_max),
+        })
+        if self.order is not None:
+            arrays["order"] = self.order
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "GannsIndex":
+        """Read an index written by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as archive:
+            version = int(archive["format_version"])
+            if version != _INDEX_FORMAT_VERSION:
+                raise ConfigurationError(
+                    f"index file {path!r} has format version {version}, "
+                    f"expected {_INDEX_FORMAT_VERSION}"
+                )
+            metric = str(archive["metric"])
+            d_max = int(archive["d_max"])
+            points = archive["points"]
+            kind = str(archive["kind"])
+            if kind == "flat":
+                graph = ProximityGraph(len(points), d_max, metric)
+                graph.neighbor_ids = archive["graph_ids"]
+                graph.neighbor_dists = archive["graph_dists"]
+                graph.degrees = archive["graph_degrees"]
+            else:
+                sizes = archive["layer_sizes"].tolist()
+                layers = []
+                for i in range(int(archive["n_layers"])):
+                    layer = ProximityGraph(len(points), d_max, metric)
+                    layer.neighbor_ids = archive[f"layer{i}_ids"]
+                    layer.neighbor_dists = archive[f"layer{i}_dists"]
+                    layer.degrees = archive[f"layer{i}_degrees"]
+                    layers.append(layer)
+                graph = HierarchicalGraph(layers, sizes)
+            order = archive["order"] if "order" in archive.files else None
+            return cls(points, graph, str(archive["graph_type"]), metric,
+                       order=order)

@@ -1,0 +1,142 @@
+"""Validated parameter bundles for search and construction.
+
+Centralising validation here means every algorithm entry point fails fast
+with one clear message instead of deep inside a kernel loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.gpusim.sorting import is_pow2, next_pow2
+
+
+@dataclass(frozen=True)
+class SearchParams:
+    """Parameters of one GANNS (or SONG) search invocation.
+
+    Attributes:
+        k: Neighbors returned per query.
+        l_n: Length of the result/candidate pool ``N``.  The paper sets
+            ``l_n`` to a power of two "for ease of GPU memory management";
+            values of 32, 64 or 128 are typical.
+        e: Explored-vertex budget — "we only consider the first e vertices
+            in N for exploration", the fine-grained efficiency/accuracy
+            knob of Section V.  Defaults to ``l_n``.
+        n_threads: Threads per block (``n_t``); Figure 10 sweeps 4..32.
+    """
+
+    k: int = 10
+    l_n: int = 64
+    e: Optional[int] = None
+    n_threads: int = 32
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ConfigurationError(f"k must be positive, got {self.k}")
+        if self.l_n <= 0:
+            raise ConfigurationError(f"l_n must be positive, got {self.l_n}")
+        if not is_pow2(self.l_n):
+            raise ConfigurationError(
+                f"l_n must be a power of two (the paper's GPU memory "
+                f"layout), got {self.l_n}; nearest valid value is "
+                f"{next_pow2(self.l_n)}"
+            )
+        if self.k > self.l_n:
+            raise ConfigurationError(
+                f"k ({self.k}) cannot exceed l_n ({self.l_n})"
+            )
+        if self.e is not None:
+            if not 1 <= self.e <= self.l_n:
+                raise ConfigurationError(
+                    f"e must lie in [1, l_n={self.l_n}], got {self.e}"
+                )
+        if self.n_threads <= 0:
+            raise ConfigurationError(
+                f"n_threads must be positive, got {self.n_threads}"
+            )
+
+    @property
+    def explore_budget(self) -> int:
+        """The effective ``e``: explicit value or the full pool."""
+        return self.e if self.e is not None else self.l_n
+
+    def with_overrides(self, **kwargs) -> "SearchParams":
+        """Copy with some fields replaced (re-validated)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class BuildParams:
+    """Parameters of one proximity-graph construction.
+
+    Attributes:
+        d_min: Nearest neighbors linked per inserted point (and the number
+            of neighbors searched during construction).
+        d_max: Adjacency-row capacity.  The evaluation default is
+            ``d_max=32, d_min=16``.
+        n_blocks: Thread blocks used by construction kernels (``n_b``);
+            Figure 14 sweeps 50..800.  Also the number of local-graph
+            groups GGraphCon partitions the points into.
+        n_threads: Threads per block inside construction kernels.
+        ef_construction: Beam/pool width of insertion-time searches;
+            defaults to ``2 * d_min``.
+        search_l_n: Pool length for GANNS-kernel construction searches;
+            defaults to the smallest power of two >= ef_construction.
+        seed: Seed for randomised pieces (HNSW levels, KNN init).
+    """
+
+    d_min: int = 16
+    d_max: int = 32
+    n_blocks: int = 800
+    n_threads: int = 32
+    ef_construction: Optional[int] = None
+    search_l_n: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.d_min <= 0 or self.d_max <= 0:
+            raise ConfigurationError(
+                f"d_min and d_max must be positive, got {self.d_min}, "
+                f"{self.d_max}"
+            )
+        if self.d_min > self.d_max:
+            raise ConfigurationError(
+                f"d_min ({self.d_min}) cannot exceed d_max ({self.d_max})"
+            )
+        if self.n_blocks <= 0:
+            raise ConfigurationError(
+                f"n_blocks must be positive, got {self.n_blocks}"
+            )
+        if self.n_threads <= 0:
+            raise ConfigurationError(
+                f"n_threads must be positive, got {self.n_threads}"
+            )
+        if self.ef_construction is not None and self.ef_construction < self.d_min:
+            raise ConfigurationError(
+                f"ef_construction ({self.ef_construction}) must be >= "
+                f"d_min ({self.d_min})"
+            )
+        if self.search_l_n is not None and not is_pow2(self.search_l_n):
+            raise ConfigurationError(
+                f"search_l_n must be a power of two, got {self.search_l_n}"
+            )
+
+    @property
+    def effective_ef(self) -> int:
+        """Insertion-search beam width: explicit or ``2 * d_min``."""
+        return (self.ef_construction if self.ef_construction is not None
+                else 2 * self.d_min)
+
+    @property
+    def effective_search_l_n(self) -> int:
+        """Pool length for construction-time GANNS searches."""
+        if self.search_l_n is not None:
+            return self.search_l_n
+        return max(next_pow2(self.effective_ef), next_pow2(self.d_min))
+
+    def with_overrides(self, **kwargs) -> "BuildParams":
+        """Copy with some fields replaced (re-validated)."""
+        return replace(self, **kwargs)

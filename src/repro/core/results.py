@@ -1,0 +1,147 @@
+"""Search and construction reports: results plus simulated timing.
+
+A :class:`SearchReport` bundles the neighbor ids/distances (real
+computation) with a :class:`repro.gpusim.tracker.CycleTracker` whose lanes
+are queries (simulated clock).  Converting to throughput or to a Figure 7
+style breakdown is a method call, so benchmark code never re-derives
+timing rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.gpusim.costs import CostTable, DEFAULT_COSTS
+from repro.gpusim.device import DeviceSpec, QUADRO_P5000
+from repro.gpusim.kernel import KernelLaunch, LaunchResult
+from repro.gpusim.tracker import CycleTracker, PhaseCategory
+
+
+@dataclass
+class SearchReport:
+    """Outcome of one batched search invocation.
+
+    Attributes:
+        algorithm: ``"ganns"`` or ``"song"``.
+        ids: ``(n_queries, k)`` neighbor ids, closest first; ``-1`` pads.
+        dists: Matching distances (``inf`` on padding).
+        tracker: Per-query, per-phase cycle accounting.
+        n_threads: Threads per block used (and charged).
+        shared_mem_bytes: Shared memory per block, for occupancy.
+        iterations: ``(n_queries,)`` search iterations per query.
+        n_distance_computations: Total point distances evaluated — the
+            quantity lazy check trades for structure-op savings.
+    """
+
+    algorithm: str
+    ids: np.ndarray
+    dists: np.ndarray
+    tracker: CycleTracker
+    n_threads: int
+    shared_mem_bytes: int
+    iterations: np.ndarray
+    n_distance_computations: int
+
+    @property
+    def n_queries(self) -> int:
+        """Queries answered by this report."""
+        return len(self.ids)
+
+    def launch(self, device: DeviceSpec = QUADRO_P5000,
+               costs: CostTable = DEFAULT_COSTS) -> LaunchResult:
+        """Schedule the one-block-per-query grid on ``device``."""
+        kernel = KernelLaunch(device, self.n_threads,
+                              self.shared_mem_bytes, costs)
+        return kernel.run(self.tracker.lane_cycles())
+
+    def queries_per_second(self, device: DeviceSpec = QUADRO_P5000,
+                           costs: CostTable = DEFAULT_COSTS) -> float:
+        """Simulated throughput — the y-axis of Figures 6/8/9."""
+        result = self.launch(device, costs)
+        if result.seconds <= 0:
+            return float("inf")
+        return self.n_queries / result.seconds
+
+    def category_seconds(self, device: DeviceSpec = QUADRO_P5000,
+                         costs: CostTable = DEFAULT_COSTS
+                         ) -> Dict[PhaseCategory, float]:
+        """Elapsed seconds attributed to each phase category.
+
+        Total launch time is split in proportion to the categories' cycle
+        shares — the Figure 7 breakdown and the Figure 10 per-stage times.
+        """
+        result = self.launch(device, costs)
+        totals = self.tracker.category_totals()
+        grand = sum(totals.values())
+        if grand <= 0:
+            return {category: 0.0 for category in totals}
+        return {category: result.seconds * share / grand
+                for category, share in totals.items()}
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fractional cycle share per phase name."""
+        return self.tracker.breakdown()
+
+    def structure_fraction(self) -> float:
+        """Share of cycles spent on data-structure operations."""
+        totals = self.tracker.category_totals()
+        grand = sum(totals.values())
+        if grand <= 0:
+            return 0.0
+        return totals.get(PhaseCategory.STRUCTURE, 0.0) / grand
+
+
+@dataclass
+class ConstructionReport:
+    """Outcome of one (simulated-GPU) graph construction.
+
+    Attributes:
+        algorithm: Construction scheme name, e.g. ``"ggraphcon-ganns"``.
+        graph: The built graph (a :class:`ProximityGraph`, or a
+            :class:`HierarchicalGraph` for HNSW).
+        seconds: Simulated elapsed construction time.
+        phase_seconds: Elapsed time per construction phase.
+        category_seconds: Elapsed time per phase category (distance vs
+            structure — Figure 14's two series).
+        n_points: Points inserted.
+        details: Free-form extras (group count, merge iterations, ...).
+    """
+
+    algorithm: str
+    graph: object
+    seconds: float
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    category_seconds: Dict[PhaseCategory, float] = field(default_factory=dict)
+    n_points: int = 0
+    details: Dict[str, float] = field(default_factory=dict)
+
+    def speedup_over(self, baseline_seconds: float) -> float:
+        """Speedup factor of this construction over a baseline time."""
+        if self.seconds <= 0:
+            return float("inf")
+        return baseline_seconds / self.seconds
+
+
+def make_search_tracker(n_queries: int, algorithm: str) -> CycleTracker:
+    """Tracker pre-registered with the algorithm's phase categories."""
+    if algorithm == "ganns":
+        categories = {
+            "candidate_locating": PhaseCategory.STRUCTURE,
+            "neighborhood_exploration": PhaseCategory.STRUCTURE,
+            "bulk_distance": PhaseCategory.DISTANCE,
+            "lazy_check": PhaseCategory.STRUCTURE,
+            "sorting": PhaseCategory.STRUCTURE,
+            "candidate_update": PhaseCategory.STRUCTURE,
+        }
+    elif algorithm == "song":
+        categories = {
+            "candidates_locating": PhaseCategory.STRUCTURE,
+            "bulk_distance": PhaseCategory.DISTANCE,
+            "structures_updating": PhaseCategory.STRUCTURE,
+        }
+    else:
+        categories = {}
+    return CycleTracker(n_queries, categories)

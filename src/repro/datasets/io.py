@@ -1,0 +1,74 @@
+"""Dataset persistence as ``.npz`` archives.
+
+Generating a stand-in takes seconds, but ground truth is quadratic; saving
+a materialised dataset (with any cached ground truth) lets benchmark runs
+share the expensive parts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.catalog import Dataset
+from repro.errors import DatasetError
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: Dataset, path: Union[str, os.PathLike]) -> None:
+    """Write a dataset (and its cached ground truth) to ``path``.
+
+    The archive is a plain ``.npz``: portable, versioned, no pickling.
+    """
+    arrays = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "name": np.array(dataset.name),
+        "metric_name": np.array(dataset.metric_name),
+        "points": dataset.points,
+        "queries": dataset.queries,
+    }
+    for k, ids in dataset._ground_truth_cache.items():
+        arrays[f"ground_truth_{k}"] = ids
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset_file(path: Union[str, os.PathLike]) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Raises:
+        DatasetError: If the file is missing required arrays or was written
+            by an incompatible format version.
+    """
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise DatasetError(f"cannot read dataset file {path!r}: {exc}") from exc
+    with archive:
+        required = {"format_version", "name", "metric_name", "points",
+                    "queries"}
+        missing = required - set(archive.files)
+        if missing:
+            raise DatasetError(
+                f"dataset file {path!r} is missing arrays: {sorted(missing)}"
+            )
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise DatasetError(
+                f"dataset file {path!r} has format version {version}, "
+                f"expected {_FORMAT_VERSION}"
+            )
+        dataset = Dataset(
+            name=str(archive["name"]),
+            points=archive["points"],
+            queries=archive["queries"],
+            metric_name=str(archive["metric_name"]),
+        )
+        prefix = "ground_truth_"
+        for array_name in archive.files:
+            if array_name.startswith(prefix):
+                k = int(array_name[len(prefix):])
+                dataset._ground_truth_cache[k] = archive[array_name]
+    return dataset

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch one base class.  Each subclass names the subsystem that
+raised it; message text carries the specifics.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or device configuration was supplied.
+
+    Raised eagerly, at construction time, so that a bad run fails before any
+    expensive work is performed.
+    """
+
+
+class DeviceError(ReproError):
+    """A simulated-device constraint was violated.
+
+    Examples: a kernel requests more shared memory per block than the device
+    spec provides, or a warp primitive is invoked with a lane count that does
+    not match the warp width.
+    """
+
+
+class GraphError(ReproError):
+    """A proximity graph is structurally invalid for the requested operation.
+
+    Examples: adjacency rows that are not distance-ordered, vertex ids out of
+    range, or a graph whose degree bound does not match the search
+    parameters.
+    """
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or validated."""
+
+
+class SearchError(ReproError):
+    """A search invocation was inconsistent with the index it targets."""
+
+
+class ConstructionError(ReproError):
+    """A graph-construction invocation failed or was misconfigured."""

@@ -1,0 +1,153 @@
+"""GGraphCon on a distributed cluster (Section IV-B's second remark).
+
+"In these system settings, each working unit can be individually
+responsible for the construction of one local graph and the search of
+nearest neighbors of one point in the merged local graph in each
+iteration."  Here the working units are cluster workers, and — unlike
+the multi-core case — moving data between units costs real time, so the
+simulation adds an explicit network model:
+
+- Phase 1 needs no communication: workers build disjoint local graphs.
+- Each merge iteration is a round: the coordinator *broadcasts* the
+  rows G_0 gained in the previous round, workers search their share of
+  the group in parallel, and the resulting backward-edge list is
+  *gathered* back.
+
+The algorithm itself is byte-identical to the GPU/multicore paths (the
+graphs match edge-for-edge); the point of the module is the cost
+structure: construction becomes latency-bound when rounds are small and
+bandwidth-bound when ``d_max`` grows, which is exactly the trade-off a
+practitioner sizing such a cluster would need to see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.baselines.cpu_cost import CpuModel, DEFAULT_CPU
+from repro.core.params import BuildParams
+from repro.core.results import ConstructionReport
+from repro.errors import ConstructionError
+from repro.extensions.multicore import build_nsw_multicore
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point cluster network.
+
+    Attributes:
+        bandwidth_gbps: Link bandwidth in gigabytes per second.
+        latency_ms: One-way message latency in milliseconds.
+    """
+
+    bandwidth_gbps: float = 1.25   # ~10 GbE
+    latency_ms: float = 0.05       # datacenter RTT/2
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ConstructionError(
+                f"bandwidth must be positive, got {self.bandwidth_gbps}"
+            )
+        if self.latency_ms < 0:
+            raise ConstructionError(
+                f"latency must be non-negative, got {self.latency_ms}"
+            )
+
+    def transfer_seconds(self, n_bytes: float) -> float:
+        """One message of ``n_bytes``: latency + serialization."""
+        return (self.latency_ms * 1e-3
+                + n_bytes / (self.bandwidth_gbps * 1e9))
+
+    def broadcast_seconds(self, n_bytes: float, n_workers: int) -> float:
+        """Binomial-tree broadcast to ``n_workers`` receivers."""
+        if n_workers <= 0:
+            return 0.0
+        rounds = max(int(np.ceil(np.log2(n_workers + 1))), 1)
+        return rounds * self.transfer_seconds(n_bytes)
+
+    def gather_seconds(self, n_bytes_total: float,
+                       n_workers: int) -> float:
+        """Gather of ``n_bytes_total`` spread over the workers."""
+        if n_workers <= 0:
+            return 0.0
+        rounds = max(int(np.ceil(np.log2(n_workers + 1))), 1)
+        return (rounds * self.latency_ms * 1e-3
+                + n_bytes_total / (self.bandwidth_gbps * 1e9))
+
+
+#: Bytes of one adjacency entry on the wire (id + distance).
+_EDGE_BYTES = 12
+
+
+def build_nsw_distributed(points: np.ndarray, params: BuildParams,
+                          n_workers: int = 8, cores_per_worker: int = 4,
+                          metric: str = "euclidean",
+                          network: NetworkModel = NetworkModel(),
+                          cpu: CpuModel = DEFAULT_CPU,
+                          exact: bool = False) -> ConstructionReport:
+    """Build an NSW graph with GGraphCon across cluster workers.
+
+    The compute schedule reuses the multicore engine with
+    ``n_workers * cores_per_worker`` cores (work placement is identical);
+    this function adds the per-round communication costs on top and
+    reports them separately.
+
+    Args:
+        points: ``(n, d)`` float matrix.
+        params: Build parameters (``n_blocks`` = group count = rounds+1).
+        n_workers: Cluster size.
+        cores_per_worker: Cores each worker contributes.
+        metric: Metric name.
+        network: Cluster network model.
+        cpu: Per-core timing model.
+        exact: Exact-search (theorem) mode.
+
+    Returns:
+        A :class:`ConstructionReport` with ``phase_seconds`` split into
+        compute and communication, and per-round stats in ``details``.
+    """
+    if n_workers <= 0 or cores_per_worker <= 0:
+        raise ConstructionError(
+            f"n_workers and cores_per_worker must be positive, got "
+            f"{n_workers}, {cores_per_worker}"
+        )
+    compute = build_nsw_multicore(points, params,
+                                  n_cores=n_workers * cores_per_worker,
+                                  metric=metric, cpu=cpu, exact=exact)
+    n = len(points)
+    n_groups = int(compute.details["n_groups"])
+    group_size = n / n_groups
+    d_max, d_min = params.d_max, params.d_min
+
+    # Per merge round: broadcast the rows G_0 gained last round (the
+    # previous group's adjacency rows), gather the new backward edges.
+    broadcast_bytes = group_size * d_max * _EDGE_BYTES
+    gather_bytes = group_size * d_min * _EDGE_BYTES
+    per_round = (network.broadcast_seconds(broadcast_bytes, n_workers)
+                 + network.gather_seconds(gather_bytes, n_workers))
+    n_rounds = max(n_groups - 1, 0)
+    comm_seconds = n_rounds * per_round
+    # Phase 1 bootstrap: shipping each worker its point shard, once.
+    shard_bytes = n * points.shape[1] * 4 / max(n_workers, 1)
+    comm_seconds += network.broadcast_seconds(shard_bytes, n_workers)
+
+    phase_seconds: Dict[str, float] = dict(compute.phase_seconds)
+    phase_seconds["communication"] = comm_seconds
+    total = compute.seconds + comm_seconds
+    return ConstructionReport(
+        algorithm="ggraphcon-distributed",
+        graph=compute.graph,
+        seconds=total,
+        phase_seconds=phase_seconds,
+        n_points=n,
+        details={
+            "n_workers": float(n_workers),
+            "cores_per_worker": float(cores_per_worker),
+            "n_rounds": float(n_rounds),
+            "comm_seconds": comm_seconds,
+            "compute_seconds": compute.seconds,
+        },
+    )

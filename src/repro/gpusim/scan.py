@@ -1,0 +1,104 @@
+"""Work-efficient parallel prefix sum (Blelloch scan).
+
+GGraphCon's merge phase organises the backward-edge list ``E`` into CSR
+form by flagging the first edge of each starting vertex and prefix-summing
+the flags (Section IV-B, merge Step 2).  This module provides the scan with
+the up-sweep/down-sweep schedule a GPU block would run, plus the plain
+NumPy fast path used by batched code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.gpusim.sorting import is_pow2, next_pow2
+
+
+def exclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum along the last axis (NumPy fast path).
+
+    ``out[..., i] = sum(values[..., :i])``; ``out[..., 0] = 0``.
+    """
+    values = np.asarray(values)
+    out = np.zeros_like(values)
+    np.cumsum(values[..., :-1], axis=-1, out=out[..., 1:])
+    return out
+
+
+def inclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sum along the last axis (NumPy fast path)."""
+    return np.cumsum(np.asarray(values), axis=-1)
+
+
+def blelloch_exclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Exclusive scan via the Blelloch up-sweep/down-sweep schedule.
+
+    Runs the exact sequence of compare-free add/swap steps a GPU block
+    performs in shared memory.  Input length is padded to a power of two
+    internally; the result has the input's length.
+
+    Raises:
+        DeviceError: If the input is not 1-D (the per-block kernel operates
+            on a single shared-memory buffer).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise DeviceError(
+            f"blelloch scan operates on a 1-D block buffer, got shape "
+            f"{values.shape}"
+        )
+    n = len(values)
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    size = n if is_pow2(n) else next_pow2(n)
+    buf = np.zeros(size, dtype=np.float64)
+    buf[:n] = values
+    # Up-sweep (reduce) phase.
+    stride = 1
+    while stride < size:
+        idx = np.arange(2 * stride - 1, size, 2 * stride)
+        buf[idx] += buf[idx - stride]
+        stride *= 2
+    # Down-sweep phase.
+    buf[size - 1] = 0.0
+    stride = size // 2
+    while stride >= 1:
+        idx = np.arange(2 * stride - 1, size, 2 * stride)
+        left = buf[idx - stride].copy()
+        buf[idx - stride] = buf[idx]
+        buf[idx] += left
+        stride //= 2
+    return buf[:n]
+
+
+def segment_starts(sorted_ids: np.ndarray) -> np.ndarray:
+    """Flag array ``I``: 1 where a run of equal ids begins, else 0.
+
+    This is exactly the flagging step of GGraphCon merge Step 2: after
+    bitonic-sorting ``E`` by starting vertex, ``I[i] = 1`` iff edge ``i`` is
+    the first edge of its starting vertex.
+    """
+    sorted_ids = np.asarray(sorted_ids)
+    if sorted_ids.ndim != 1:
+        raise DeviceError(
+            f"segment_starts expects a 1-D id array, got shape "
+            f"{sorted_ids.shape}"
+        )
+    if len(sorted_ids) == 0:
+        return np.zeros(0, dtype=np.int64)
+    flags = np.ones(len(sorted_ids), dtype=np.int64)
+    flags[1:] = (sorted_ids[1:] != sorted_ids[:-1]).astype(np.int64)
+    return flags
+
+
+def csr_offsets_from_sorted_ids(sorted_ids: np.ndarray) -> np.ndarray:
+    """Start offsets of each id run in a sorted id array (CSR row pointer).
+
+    Returns the positions where each distinct starting vertex's edges begin,
+    with a terminating sentinel equal to the array length, so segment ``i``
+    spans ``[offsets[i], offsets[i + 1])`` — the ``I`` array of merge Step 3.
+    """
+    flags = segment_starts(sorted_ids)
+    starts = np.flatnonzero(flags)
+    return np.concatenate([starts, [len(sorted_ids)]]).astype(np.int64)

@@ -1,0 +1,197 @@
+"""Bitonic sorting and merging networks (Batcher, 1968).
+
+GANNS sorts the neighbor buffer ``T`` with a bitonic network (phase 5) and
+merges it into the pool ``N`` with a bitonic merger (phase 6, the
+Faiss-style sorted-list merge).  GGraphCon's merge phase bitonic-sorts the
+backward-edge list ``E``.
+
+Two layers are provided:
+
+- A *faithful network*: the exact compare-exchange schedule a GPU block
+  would execute, operating on one or many rows at once.  Used by the
+  reference kernel and by property tests.
+- Convenience wrappers that sort records keyed lexicographically by
+  ``(primary, secondary, ..., id)`` — the paper breaks distance ties "by
+  vertex ID", which also makes every network output deterministic.
+
+All lengths must be powers of two; :func:`pad_pow2` pads with ``+inf`` keys
+and ``-1`` ids exactly as a fixed-size GPU buffer would be padded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+
+def is_pow2(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two that is ``>= n`` (1 for ``n <= 1``)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def pad_pow2(keys: np.ndarray, *payloads: np.ndarray,
+             key_fill: float = np.inf,
+             payload_fill: int = -1) -> Tuple[np.ndarray, ...]:
+    """Pad 1-D arrays along their last axis to a power-of-two length.
+
+    Keys are padded with ``key_fill`` (defaults to ``+inf`` so padding sinks
+    to the tail under ascending order); payloads with ``payload_fill``.
+    """
+    n = keys.shape[-1]
+    target = next_pow2(n)
+    if target == n:
+        return (keys,) + payloads
+    pad_width = [(0, 0)] * (keys.ndim - 1) + [(0, target - n)]
+    padded_keys = np.pad(keys, pad_width, constant_values=key_fill)
+    padded_payloads = tuple(
+        np.pad(p, pad_width, constant_values=payload_fill) for p in payloads
+    )
+    return (padded_keys,) + padded_payloads
+
+
+def _lexicographic_greater(keys_a: Sequence[np.ndarray],
+                           keys_b: Sequence[np.ndarray]) -> np.ndarray:
+    """Elementwise ``a > b`` under lexicographic multi-key comparison."""
+    greater = np.zeros(keys_a[0].shape, dtype=bool)
+    tied = np.ones(keys_a[0].shape, dtype=bool)
+    for a, b in zip(keys_a, keys_b):
+        greater |= tied & (a > b)
+        tied &= (a == b)
+    return greater
+
+
+def _compare_exchange(keys: List[np.ndarray], idx_lo: np.ndarray,
+                      idx_hi: np.ndarray) -> None:
+    """Swap records at (idx_lo, idx_hi) wherever lo's keys exceed hi's.
+
+    Operates in place on every key array, along the last axis; rows (if any)
+    are processed simultaneously, which mirrors the per-thread-block
+    execution of the network across a batch of blocks.
+    """
+    lo_keys = [k[..., idx_lo] for k in keys]
+    hi_keys = [k[..., idx_hi] for k in keys]
+    swap = _lexicographic_greater(lo_keys, hi_keys)
+    for k, lo_vals, hi_vals in zip(keys, lo_keys, hi_keys):
+        k[..., idx_lo] = np.where(swap, hi_vals, lo_vals)
+        k[..., idx_hi] = np.where(swap, lo_vals, hi_vals)
+
+
+def bitonic_sort_network(*keys: np.ndarray) -> Tuple[np.ndarray, ...]:
+    """Sort records ascending with Batcher's bitonic sorting network.
+
+    Args:
+        *keys: One or more arrays of identical shape; the last axis is
+            sorted.  Records are compared lexicographically across the key
+            arrays in order, so passing ``(distance, vertex_id)`` gives the
+            paper's distance-then-id ordering.  Every array is both a sort
+            key and a carried payload.
+
+    Returns:
+        New arrays with each row sorted.  The input arrays are not modified.
+
+    Raises:
+        DeviceError: If the last-axis length is not a power of two (pad with
+            :func:`pad_pow2` first, as a GPU buffer would be).
+    """
+    if not keys:
+        raise DeviceError("bitonic_sort_network requires at least one key array")
+    n = keys[0].shape[-1]
+    for k in keys:
+        if k.shape != keys[0].shape:
+            raise DeviceError("all key arrays must share one shape")
+    if not is_pow2(n):
+        raise DeviceError(
+            f"bitonic network length must be a power of two, got {n}"
+        )
+    work = [np.array(k, copy=True) for k in keys]
+    if n == 1:
+        return tuple(work)
+    indices = np.arange(n)
+    size = 2
+    while size <= n:
+        # First stage of each size: "green" compare against the mirrored
+        # partner, which turns two sorted runs into a bitonic sequence
+        # sorted ascending.
+        half = size // 2
+        lo = indices[(indices % size) < half]
+        hi = (lo // size) * size + (size - 1 - (lo % size))
+        _compare_exchange(work, lo, hi)
+        stride = half // 2
+        while stride >= 1:
+            lo = indices[(indices % (stride * 2)) < stride]
+            hi = lo + stride
+            _compare_exchange(work, lo, hi)
+            stride //= 2
+        size *= 2
+    return tuple(work)
+
+
+def bitonic_merge_network(*keys: np.ndarray) -> Tuple[np.ndarray, ...]:
+    """Merge two equal-halves-sorted rows into one sorted row.
+
+    The first half of the last axis and the second half must each already be
+    sorted ascending; the second half is reversed internally to form a
+    bitonic sequence and the merge stages of Batcher's network finish the
+    job in ``log2(n)`` stages — the phase-(6) candidate update.
+    """
+    if not keys:
+        raise DeviceError("bitonic_merge_network requires at least one key array")
+    n = keys[0].shape[-1]
+    if not is_pow2(n):
+        raise DeviceError(
+            f"bitonic network length must be a power of two, got {n}"
+        )
+    work = [np.array(k, copy=True) for k in keys]
+    if n == 1:
+        return tuple(work)
+    half = n // 2
+    for k in work:
+        k[..., half:] = k[..., half:][..., ::-1]
+    indices = np.arange(n)
+    stride = half
+    while stride >= 1:
+        lo = indices[(indices % (stride * 2)) < stride]
+        hi = lo + stride
+        _compare_exchange(work, lo, hi)
+        stride //= 2
+    return tuple(work)
+
+
+def merge_sorted_topm(a_keys: Sequence[np.ndarray],
+                      b_keys: Sequence[np.ndarray],
+                      m: int) -> Tuple[np.ndarray, ...]:
+    """Keep the ``m`` smallest records of two sorted runs, sorted.
+
+    This is the semantic contract of GANNS phase (6): ``N`` (length
+    ``l_n``, sorted) and ``T`` (length ``l_t``, sorted) are merged and the
+    best ``l_n`` survive.  Implemented here by concatenation + lexicographic
+    argsort, which a bitonic merger provably equals when ids are unique; the
+    faithful network path lives in :func:`bitonic_merge_network` and the two
+    are cross-checked by the test suite.
+
+    Args:
+        a_keys: Key arrays for run A, each shaped ``(..., la)``, row-sorted.
+        b_keys: Key arrays for run B, each shaped ``(..., lb)``, row-sorted.
+        m: Number of records to keep.
+
+    Returns:
+        Key arrays shaped ``(..., m)``.
+    """
+    if len(a_keys) != len(b_keys):
+        raise DeviceError("runs must carry the same number of key arrays")
+    merged = [np.concatenate([a, b], axis=-1) for a, b in zip(a_keys, b_keys)]
+    # np.lexsort sorts by the last key as primary, so reverse the order.
+    order = np.lexsort(tuple(k for k in reversed(merged)))
+    taken = tuple(np.take_along_axis(k, order, axis=-1)[..., :m]
+                  for k in merged)
+    return taken

@@ -1,0 +1,172 @@
+"""Per-phase cycle accounting for simulated kernels.
+
+A :class:`CycleTracker` accumulates cycles charged by algorithm code.  It is
+vectorised over *lanes* so that a batched search — where each thread block
+(query) progresses through its own number of iterations — can charge each
+query independently: pass an index array or boolean mask to
+:meth:`CycleTracker.charge` and only the active lanes are billed.
+
+Phases carry a :class:`PhaseCategory` so the Figure 7 breakdown (distance
+computation vs data-structure operations) falls straight out of the
+accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class PhaseCategory(enum.Enum):
+    """Coarse classification of kernel phases, used for time breakdowns."""
+
+    DISTANCE = "distance"
+    STRUCTURE = "structure"
+    MEMORY = "memory"
+    OTHER = "other"
+
+
+LaneSelector = Union[None, np.ndarray]
+
+
+class CycleTracker:
+    """Accumulates simulated cycles per phase across a set of lanes.
+
+    Args:
+        n_lanes: Number of independent lanes (e.g. queries, one thread block
+            each).  ``1`` gives scalar accounting.
+        phase_categories: Optional mapping from phase name to
+            :class:`PhaseCategory`.  Phases charged without a registered
+            category fall into :attr:`PhaseCategory.OTHER`.
+    """
+
+    def __init__(self, n_lanes: int = 1,
+                 phase_categories: Optional[Mapping[str, PhaseCategory]] = None):
+        if n_lanes <= 0:
+            raise ConfigurationError(
+                f"CycleTracker n_lanes must be positive, got {n_lanes}"
+            )
+        self._n_lanes = int(n_lanes)
+        self._phases: Dict[str, np.ndarray] = {}
+        self._categories: Dict[str, PhaseCategory] = dict(phase_categories or {})
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of lanes this tracker bills independently."""
+        return self._n_lanes
+
+    @property
+    def phase_names(self) -> Iterable[str]:
+        """Names of all phases that have been charged at least once."""
+        return tuple(self._phases)
+
+    def register_category(self, phase: str, category: PhaseCategory) -> None:
+        """Associate ``phase`` with ``category`` for breakdown reports."""
+        self._categories[phase] = category
+
+    def category_of(self, phase: str) -> PhaseCategory:
+        """Category of ``phase`` (:attr:`PhaseCategory.OTHER` if unknown)."""
+        return self._categories.get(phase, PhaseCategory.OTHER)
+
+    def charge(self, phase: str, cycles: Union[float, np.ndarray],
+               lanes: LaneSelector = None) -> None:
+        """Add ``cycles`` to ``phase``.
+
+        Args:
+            phase: Phase name (free-form; register a category for nice
+                breakdowns).
+            cycles: Scalar, or an array matching the selected lanes.
+            lanes: ``None`` to charge every lane; a boolean mask of length
+                ``n_lanes``; or an integer index array.
+        """
+        bucket = self._phases.get(phase)
+        if bucket is None:
+            bucket = np.zeros(self._n_lanes, dtype=np.float64)
+            self._phases[phase] = bucket
+        if lanes is None:
+            bucket += cycles
+            return
+        lanes = np.asarray(lanes)
+        if lanes.dtype == bool:
+            if lanes.shape != (self._n_lanes,):
+                raise ConfigurationError(
+                    f"boolean lane mask must have shape ({self._n_lanes},), "
+                    f"got {lanes.shape}"
+                )
+            bucket[lanes] += cycles
+        else:
+            bucket[lanes] += cycles
+
+    # ------------------------------------------------------------------
+    # Readout
+    # ------------------------------------------------------------------
+
+    def lane_cycles(self, phase: Optional[str] = None) -> np.ndarray:
+        """Per-lane cycle totals for one phase (or all phases summed)."""
+        if phase is not None:
+            bucket = self._phases.get(phase)
+            if bucket is None:
+                return np.zeros(self._n_lanes, dtype=np.float64)
+            return bucket.copy()
+        total = np.zeros(self._n_lanes, dtype=np.float64)
+        for bucket in self._phases.values():
+            total += bucket
+        return total
+
+    def total_cycles(self, phase: Optional[str] = None) -> float:
+        """Sum of cycles across all lanes for one phase (or all)."""
+        return float(self.lane_cycles(phase).sum())
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Mapping of phase name to total cycles across lanes."""
+        return {name: float(bucket.sum())
+                for name, bucket in self._phases.items()}
+
+    def category_totals(self) -> Dict[PhaseCategory, float]:
+        """Total cycles per :class:`PhaseCategory` across lanes."""
+        totals: Dict[PhaseCategory, float] = {}
+        for name, bucket in self._phases.items():
+            category = self.category_of(name)
+            totals[category] = totals.get(category, 0.0) + float(bucket.sum())
+        return totals
+
+    def category_lane_cycles(self, category: PhaseCategory) -> np.ndarray:
+        """Per-lane cycle totals restricted to one category."""
+        total = np.zeros(self._n_lanes, dtype=np.float64)
+        for name, bucket in self._phases.items():
+            if self.category_of(name) is category:
+                total += bucket
+        return total
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fractional share of total cycles per phase (sums to 1.0)."""
+        totals = self.phase_totals()
+        grand = sum(totals.values())
+        if grand <= 0.0:
+            return {name: 0.0 for name in totals}
+        return {name: value / grand for name, value in totals.items()}
+
+    def merge_from(self, other: "CycleTracker") -> None:
+        """Fold another tracker's totals into this one, lane-wise.
+
+        Both trackers must have the same number of lanes.  Categories
+        registered on ``other`` are adopted for phases this tracker has not
+        categorised yet.
+        """
+        if other.n_lanes != self._n_lanes:
+            raise ConfigurationError(
+                f"cannot merge trackers with different lane counts "
+                f"({other.n_lanes} != {self._n_lanes})"
+            )
+        for name in other.phase_names:
+            self.charge(name, other.lane_cycles(name))
+            if name not in self._categories:
+                self._categories[name] = other.category_of(name)
+
+    def reset(self) -> None:
+        """Zero all accumulated cycles, keeping category registrations."""
+        self._phases.clear()

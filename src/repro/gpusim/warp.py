@@ -1,0 +1,166 @@
+"""Functional semantics of the warp-level primitives used by the paper.
+
+GANNS leans on four CUDA warp intrinsics:
+
+- ``__shfl_down_sync`` — partial-sum aggregation in bulk distance
+  computation (Section III-B, phase 3);
+- ``__shfl_xor_sync`` — SONG's butterfly reduction for the same purpose;
+- ``__ballot_sync`` + ``__ffs`` — locating the first unexplored vertex in
+  ``N`` (Section III-B, phase 1).
+
+This module implements their semantics over NumPy arrays, one warp at a
+time, and optionally charges their cycle costs to a tracker.  The faithful
+single-query GANNS kernel (:mod:`repro.core.ganns_kernel`) is written in
+terms of these, which lets the test suite check that the fast batched
+implementation matches an implementation assembled from the primitives the
+paper actually names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.gpusim.costs import CostTable, DEFAULT_COSTS
+from repro.gpusim.tracker import CycleTracker
+
+
+def _check_lane_count(values: np.ndarray, warp_size: int) -> None:
+    if values.ndim != 1:
+        raise DeviceError(
+            f"warp primitive expects a 1-D lane array, got shape {values.shape}"
+        )
+    if len(values) != warp_size:
+        raise DeviceError(
+            f"warp primitive expects exactly {warp_size} lanes, "
+            f"got {len(values)}"
+        )
+
+
+def shfl_down_sync(values: np.ndarray, delta: int,
+                   warp_size: int = 32) -> np.ndarray:
+    """Semantics of ``__shfl_down_sync(0xffffffff, value, delta)``.
+
+    Each lane ``i`` receives the value held by lane ``i + delta``; lanes
+    whose source falls off the end of the warp keep their own value, matching
+    CUDA's behaviour.
+    """
+    _check_lane_count(values, warp_size)
+    if delta < 0:
+        raise DeviceError(f"shuffle delta must be non-negative, got {delta}")
+    result = values.copy()
+    if delta == 0:
+        return result
+    sources = np.arange(warp_size) + delta
+    in_range = sources < warp_size
+    result[in_range] = values[sources[in_range]]
+    return result
+
+
+def shfl_xor_sync(values: np.ndarray, lane_mask: int,
+                  warp_size: int = 32) -> np.ndarray:
+    """Semantics of ``__shfl_xor_sync(0xffffffff, value, lane_mask)``.
+
+    Lane ``i`` receives the value held by lane ``i ^ lane_mask`` — the
+    butterfly exchange pattern SONG uses to aggregate partial distances.
+    """
+    _check_lane_count(values, warp_size)
+    if lane_mask < 0 or lane_mask >= warp_size:
+        raise DeviceError(
+            f"xor lane mask must lie in [0, {warp_size}), got {lane_mask}"
+        )
+    sources = np.arange(warp_size) ^ lane_mask
+    return values[sources]
+
+
+def warp_reduce_sum(values: np.ndarray, warp_size: int = 32,
+                    tracker: Optional[CycleTracker] = None,
+                    phase: str = "warp_reduce",
+                    costs: CostTable = DEFAULT_COSTS) -> float:
+    """Sum all lanes with ``log2(warp_size)`` ``shfl_down`` steps.
+
+    Returns the value lane 0 would hold after the reduction, i.e. the warp
+    sum.  Charges one shuffle plus one add per step when a tracker is given.
+    """
+    _check_lane_count(values, warp_size)
+    acc = values.astype(np.float64, copy=True)
+    delta = warp_size // 2
+    steps = 0
+    while delta >= 1:
+        acc = acc + shfl_down_sync(acc, delta, warp_size)
+        delta //= 2
+        steps += 1
+    if tracker is not None:
+        tracker.charge(phase, steps * (costs.shuffle_cycles + costs.alu_cycles))
+    return float(acc[0])
+
+
+def warp_reduce_sum_xor(values: np.ndarray, warp_size: int = 32,
+                        tracker: Optional[CycleTracker] = None,
+                        phase: str = "warp_reduce",
+                        costs: CostTable = DEFAULT_COSTS) -> float:
+    """Butterfly (``shfl_xor``) all-reduce; every lane ends with the sum.
+
+    This is the aggregation SONG describes; returns the (shared) sum.
+    """
+    _check_lane_count(values, warp_size)
+    acc = values.astype(np.float64, copy=True)
+    lane_mask = warp_size // 2
+    steps = 0
+    while lane_mask >= 1:
+        acc = acc + shfl_xor_sync(acc, lane_mask, warp_size)
+        lane_mask //= 2
+        steps += 1
+    if tracker is not None:
+        tracker.charge(phase, steps * (costs.shuffle_cycles + costs.alu_cycles))
+    if not np.allclose(acc, acc[0]):
+        raise DeviceError("xor butterfly reduction produced divergent lanes")
+    return float(acc[0])
+
+
+def ballot_sync(predicates: np.ndarray, warp_size: int = 32,
+                tracker: Optional[CycleTracker] = None,
+                phase: str = "ballot",
+                costs: CostTable = DEFAULT_COSTS) -> int:
+    """Semantics of ``__ballot_sync``: pack lane predicates into a bit mask.
+
+    Lane ``i`` contributes bit ``i``; the full mask is returned to every
+    lane (we return it once).
+    """
+    _check_lane_count(predicates, warp_size)
+    mask = 0
+    for lane, flag in enumerate(predicates):
+        if flag:
+            mask |= 1 << lane
+    if tracker is not None:
+        tracker.charge(phase, costs.ballot_cycles)
+    return mask
+
+
+def ffs(mask: int, tracker: Optional[CycleTracker] = None,
+        phase: str = "ffs", costs: CostTable = DEFAULT_COSTS) -> int:
+    """Semantics of ``__ffs``: 1-based position of the least-significant set
+    bit, 0 when the mask is empty."""
+    if mask < 0:
+        raise DeviceError(f"ffs mask must be non-negative, got {mask}")
+    if tracker is not None:
+        tracker.charge(phase, costs.ffs_cycles)
+    if mask == 0:
+        return 0
+    return (mask & -mask).bit_length()
+
+
+def first_set_lane(predicates: np.ndarray, warp_size: int = 32,
+                   tracker: Optional[CycleTracker] = None,
+                   phase: str = "candidate_locating",
+                   costs: CostTable = DEFAULT_COSTS) -> int:
+    """The ballot + ffs idiom of GANNS phase (1).
+
+    Returns the index of the first true lane, or ``-1`` when no lane's
+    predicate holds.
+    """
+    mask = ballot_sync(predicates, warp_size, tracker, phase, costs)
+    position = ffs(mask, tracker, phase, costs)
+    return position - 1

@@ -1,0 +1,45 @@
+"""Proximity-graph substrate.
+
+The paper's Definition 2 graph with its two GPU-friendly properties
+(Section II-A): every vertex keeps only *outgoing* neighbors, bounded by
+``d_max`` and ordered by distance, stored as dense fixed-width rows — the
+layout every search and construction kernel in this library consumes.
+"""
+
+from repro.graphs.adjacency import ProximityGraph, HierarchicalGraph
+from repro.graphs.validation import validate_graph
+from repro.graphs.stats import (
+    GraphStats,
+    graph_stats,
+    average_out_degree,
+    reachable_fraction,
+    edge_recall_against,
+)
+from repro.graphs.pruning import prune_diversify, pruning_stats
+from repro.graphs.analysis import (
+    NavigabilityReport,
+    navigability_report,
+    degree_distribution,
+    long_link_fraction,
+    mean_hops,
+    neighborhood_overlap,
+)
+
+__all__ = [
+    "ProximityGraph",
+    "HierarchicalGraph",
+    "validate_graph",
+    "GraphStats",
+    "graph_stats",
+    "average_out_degree",
+    "reachable_fraction",
+    "edge_recall_against",
+    "NavigabilityReport",
+    "navigability_report",
+    "degree_distribution",
+    "long_link_fraction",
+    "mean_hops",
+    "neighborhood_overlap",
+    "prune_diversify",
+    "pruning_stats",
+]

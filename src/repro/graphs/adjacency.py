@@ -1,0 +1,292 @@
+"""Fixed-degree adjacency storage for proximity graphs.
+
+A :class:`ProximityGraph` keeps, per vertex, a fixed-width row of at most
+``d_max`` outgoing neighbors *ordered by distance* (ties by id), padded with
+``-1`` ids and ``+inf`` distances.  This is the layout the paper requires
+("the adjacency list of each vertex is an array with fixed size d_max where
+elements are ordered by distance") and the reason its kernels never touch a
+dynamic allocation.
+
+:class:`HierarchicalGraph` stacks per-layer :class:`ProximityGraph` objects
+for HNSW-style indices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.metrics.distance import Metric, get_metric
+
+PAD_ID = -1
+PAD_DIST = np.inf
+
+
+class ProximityGraph:
+    """Directed proximity graph with distance-ordered fixed-degree rows.
+
+    Args:
+        n_vertices: Number of vertices (== number of points).
+        d_max: Maximum out-degree; rows are dense arrays of this width.
+        metric: Metric name used to build the graph (carried for search).
+    """
+
+    def __init__(self, n_vertices: int, d_max: int,
+                 metric: str = "euclidean"):
+        if n_vertices <= 0:
+            raise GraphError(f"n_vertices must be positive, got {n_vertices}")
+        if d_max <= 0:
+            raise GraphError(f"d_max must be positive, got {d_max}")
+        self.n_vertices = int(n_vertices)
+        self.d_max = int(d_max)
+        self.metric_name = metric
+        self.neighbor_ids = np.full((n_vertices, d_max), PAD_ID,
+                                    dtype=np.int64)
+        self.neighbor_dists = np.full((n_vertices, d_max), PAD_DIST,
+                                      dtype=np.float64)
+        self.degrees = np.zeros(n_vertices, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def metric(self) -> Metric:
+        """Metric instance the graph was built under."""
+        return get_metric(self.metric_name)
+
+    def degree(self, vertex: int) -> int:
+        """Current out-degree of ``vertex``."""
+        self._check_vertex(vertex)
+        return int(self.degrees[vertex])
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Out-neighbor ids of ``vertex``, closest first (no padding)."""
+        self._check_vertex(vertex)
+        return self.neighbor_ids[vertex, :self.degrees[vertex]].copy()
+
+    def neighbor_distances(self, vertex: int) -> np.ndarray:
+        """Distances matching :meth:`neighbors`."""
+        self._check_vertex(vertex)
+        return self.neighbor_dists[vertex, :self.degrees[vertex]].copy()
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """Whether the directed edge ``src -> dst`` exists."""
+        self._check_vertex(src)
+        return dst in self.neighbor_ids[src, :self.degrees[src]]
+
+    def n_edges(self) -> int:
+        """Total number of directed edges."""
+        return int(self.degrees.sum())
+
+    def memory_bytes(self) -> int:
+        """Bytes of the dense adjacency representation (the paper's
+        ``O(n_p x d_max)`` global-memory figure)."""
+        return (self.neighbor_ids.nbytes + self.neighbor_dists.nbytes
+                + self.degrees.nbytes)
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self.n_vertices:
+            raise GraphError(
+                f"vertex {vertex} out of range [0, {self.n_vertices})"
+            )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert_edge(self, src: int, dst: int, dist: float) -> bool:
+        """Insert ``src -> dst`` keeping the row sorted by (dist, id).
+
+        Mirrors the kernel's behaviour exactly: locate the position by
+        binary search, shift the tail, and "the last element is discarded if
+        the list is already full".  Inserting an edge that already exists is
+        a no-op.
+
+        Returns:
+            True when the edge was inserted, False when it was rejected
+            (already present, or worse than a full row's last entry).
+        """
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        if src == dst:
+            raise GraphError(f"self-loop rejected at vertex {src}")
+        degree = int(self.degrees[src])
+        row_ids = self.neighbor_ids[src]
+        row_dists = self.neighbor_dists[src]
+        if dst in row_ids[:degree]:
+            return False
+        if degree == self.d_max:
+            last = degree - 1
+            if (dist, dst) >= (row_dists[last], row_ids[last]):
+                return False
+        # Binary search for the (dist, id) insertion point.
+        position = int(np.searchsorted(row_dists[:degree], dist, side="left"))
+        while (position < degree and row_dists[position] == dist
+               and row_ids[position] < dst):
+            position += 1
+        stop = min(degree + 1, self.d_max)
+        row_ids[position + 1:stop] = row_ids[position:stop - 1]
+        row_dists[position + 1:stop] = row_dists[position:stop - 1]
+        row_ids[position] = dst
+        row_dists[position] = dist
+        self.degrees[src] = stop
+        return True
+
+    def set_row(self, vertex: int, ids: Sequence[int],
+                dists: Sequence[float]) -> None:
+        """Replace a vertex's row wholesale (must be pre-sorted, <= d_max)."""
+        self._check_vertex(vertex)
+        ids = np.asarray(ids, dtype=np.int64)
+        dists = np.asarray(dists, dtype=np.float64)
+        if ids.shape != dists.shape or ids.ndim != 1:
+            raise GraphError(
+                f"row arrays must be 1-D and equal length, got {ids.shape} "
+                f"and {dists.shape}"
+            )
+        if len(ids) > self.d_max:
+            raise GraphError(
+                f"row of length {len(ids)} exceeds d_max={self.d_max}"
+            )
+        order_ok = np.all(np.diff(dists) >= 0)
+        if not order_ok:
+            raise GraphError("row distances must be sorted ascending")
+        self.neighbor_ids[vertex] = PAD_ID
+        self.neighbor_dists[vertex] = PAD_DIST
+        self.neighbor_ids[vertex, :len(ids)] = ids
+        self.neighbor_dists[vertex, :len(ids)] = dists
+        self.degrees[vertex] = len(ids)
+
+    def merge_row(self, vertex: int, ids: Sequence[int],
+                  dists: Sequence[float]) -> None:
+        """Merge candidate neighbors into a row, keeping the best ``d_max``.
+
+        This is merge Step 3 of GGraphCon: the existing (sorted) row and a
+        batch of new edges are merged and "we use the first d_max elements
+        as the adjacency list".  Duplicates collapse to one entry.
+        """
+        self._check_vertex(vertex)
+        degree = int(self.degrees[vertex])
+        all_ids = np.concatenate([self.neighbor_ids[vertex, :degree],
+                                  np.asarray(ids, dtype=np.int64)])
+        all_dists = np.concatenate([self.neighbor_dists[vertex, :degree],
+                                    np.asarray(dists, dtype=np.float64)])
+        if len(all_ids) == 0:
+            return
+        order = np.lexsort((all_ids, all_dists))
+        all_ids = all_ids[order]
+        all_dists = all_dists[order]
+        _, unique_idx = np.unique(all_ids, return_index=True)
+        keep = np.zeros(len(all_ids), dtype=bool)
+        keep[unique_idx] = True
+        all_ids = all_ids[keep]
+        all_dists = all_dists[keep]
+        order = np.lexsort((all_ids, all_dists))
+        all_ids = all_ids[order][:self.d_max]
+        all_dists = all_dists[order][:self.d_max]
+        self.set_row(vertex, all_ids, all_dists)
+
+    # ------------------------------------------------------------------
+    # Construction helpers / conversions
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "ProximityGraph":
+        """Deep copy of the graph."""
+        clone = ProximityGraph(self.n_vertices, self.d_max, self.metric_name)
+        clone.neighbor_ids = self.neighbor_ids.copy()
+        clone.neighbor_dists = self.neighbor_dists.copy()
+        clone.degrees = self.degrees.copy()
+        return clone
+
+    def edge_set(self) -> set:
+        """All directed edges as a set of (src, dst) tuples."""
+        edges = set()
+        for v in range(self.n_vertices):
+            for u in self.neighbor_ids[v, :self.degrees[v]]:
+                edges.add((v, int(u)))
+        return edges
+
+    @classmethod
+    def from_rows(cls, rows_ids: np.ndarray, rows_dists: np.ndarray,
+                  d_max: Optional[int] = None,
+                  metric: str = "euclidean") -> "ProximityGraph":
+        """Build a graph from dense ``(n, w)`` id/distance matrices.
+
+        Padding entries must use ``-1`` / ``+inf``; rows must be sorted.
+        """
+        rows_ids = np.asarray(rows_ids)
+        rows_dists = np.asarray(rows_dists)
+        if rows_ids.shape != rows_dists.shape or rows_ids.ndim != 2:
+            raise GraphError(
+                f"row matrices must be 2-D and equal shape, got "
+                f"{rows_ids.shape} and {rows_dists.shape}"
+            )
+        n, width = rows_ids.shape
+        if d_max is None:
+            d_max = width
+        graph = cls(n, d_max, metric)
+        for v in range(n):
+            valid = rows_ids[v] >= 0
+            graph.set_row(v, rows_ids[v][valid], rows_dists[v][valid])
+        return graph
+
+
+class HierarchicalGraph:
+    """A stack of per-layer proximity graphs (the HNSW organisation).
+
+    Layer 0 is the bottom layer containing every point; layer ``i`` contains
+    ``layer_sizes[i]`` points.  Following the paper's shuffled-ID scheme
+    (Section IV-D), the vertices present on layer ``i`` are exactly the
+    *shuffled* ids ``0 .. layer_sizes[i] - 1``, so a layer's adjacency rows
+    are addressable directly by vertex id with no per-layer index.
+    """
+
+    def __init__(self, layers: List[ProximityGraph],
+                 layer_sizes: Sequence[int]):
+        if not layers:
+            raise GraphError("a hierarchical graph needs at least one layer")
+        if len(layers) != len(layer_sizes):
+            raise GraphError(
+                f"{len(layers)} layers but {len(layer_sizes)} layer sizes"
+            )
+        sizes = [int(s) for s in layer_sizes]
+        if any(s <= 0 for s in sizes):
+            raise GraphError("layer sizes must be positive")
+        if any(sizes[i] < sizes[i + 1] for i in range(len(sizes) - 1)):
+            raise GraphError("layer sizes must be non-increasing upwards")
+        for graph, size in zip(layers, sizes):
+            if graph.n_vertices < size:
+                raise GraphError(
+                    f"layer graph has {graph.n_vertices} vertices but the "
+                    f"layer claims {size}"
+                )
+        self.layers = layers
+        self.layer_sizes = sizes
+
+    @property
+    def n_layers(self) -> int:
+        """Number of layers (>= 1)."""
+        return len(self.layers)
+
+    @property
+    def bottom(self) -> ProximityGraph:
+        """The layer-0 graph over all points."""
+        return self.layers[0]
+
+    def entry_vertex(self) -> int:
+        """Entry point for search: the first vertex of the top layer."""
+        return 0
+
+    def layer_vertices(self, layer: int) -> Tuple[int, int]:
+        """Half-open id range ``[0, size)`` of vertices on ``layer``."""
+        if not 0 <= layer < self.n_layers:
+            raise GraphError(
+                f"layer {layer} out of range [0, {self.n_layers})"
+            )
+        return 0, self.layer_sizes[layer]
+
+    def memory_bytes(self) -> int:
+        """Total bytes across layers."""
+        return sum(layer.memory_bytes() for layer in self.layers)

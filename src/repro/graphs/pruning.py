@@ -1,0 +1,113 @@
+"""Diversity-based edge pruning (the RNG/heuristic neighbor selection).
+
+The paper's related work surveys graphs that prune edges for *diversity*
+rather than pure proximity — DPG, NSG, FANNG and HNSW's select-neighbors
+heuristic all apply some form of the relative-neighborhood rule: drop the
+edge ``v -> u`` when a kept neighbor ``w`` is closer to ``u`` than ``v``
+is (``δ(w, u) < α · δ(v, u)``), because the search can reach ``u``
+through ``w``.  NSW graphs keep their raw nearest neighbors, so their
+rows waste slots on redundant same-direction edges.
+
+:func:`prune_diversify` applies the rule as a post-processing pass over
+any built :class:`repro.graphs.adjacency.ProximityGraph` — an optional
+refinement the paper leaves to future work, exposed here because it
+composes cleanly with GGraphCon (build fast on the GPU, then prune) and
+measurably improves recall per explored vertex on NSW graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import ProximityGraph
+from repro.metrics.distance import Metric
+
+
+def prune_diversify(graph: ProximityGraph, points: np.ndarray,
+                    alpha: float = 1.0,
+                    min_degree: int = 1,
+                    metric: Optional[Metric] = None) -> ProximityGraph:
+    """Prune each row with the relative-neighborhood (diversity) rule.
+
+    Rows are scanned closest-first; a neighbor ``u`` is kept unless some
+    already-kept ``w`` satisfies ``δ(w, u) < α · δ(v, u)``.  ``α > 1``
+    prunes more aggressively; ``α = 1`` is the classical RNG test.
+
+    Args:
+        graph: Input graph (not modified).
+        points: ``(n, d)`` points the graph was built on.
+        alpha: Pruning aggressiveness (``> 0``).
+        min_degree: Keep at least this many neighbors per row regardless
+            of the rule (guards connectivity).
+        metric: Distance metric; defaults to the graph's.
+
+    Returns:
+        A new pruned :class:`ProximityGraph` with the same ``d_max``.
+    """
+    if alpha <= 0:
+        raise GraphError(f"alpha must be positive, got {alpha}")
+    if min_degree < 0:
+        raise GraphError(f"min_degree must be >= 0, got {min_degree}")
+    points = np.asarray(points)
+    if points.ndim != 2 or len(points) != graph.n_vertices:
+        raise GraphError(
+            f"points shape {points.shape} does not match the graph's "
+            f"{graph.n_vertices} vertices"
+        )
+    if metric is None:
+        metric = graph.metric
+
+    pruned = ProximityGraph(graph.n_vertices, graph.d_max,
+                            graph.metric_name)
+    for v in range(graph.n_vertices):
+        degree = int(graph.degrees[v])
+        if degree == 0:
+            continue
+        neighbor_ids = graph.neighbor_ids[v, :degree]
+        neighbor_dists = graph.neighbor_dists[v, :degree]
+        kept_ids = []
+        kept_dists = []
+        for u, dist_vu in zip(neighbor_ids, neighbor_dists):
+            u = int(u)
+            keep = True
+            if kept_ids:
+                w_dists = metric.one_to_many(points[u],
+                                             points[np.asarray(kept_ids)])
+                if (w_dists < alpha * dist_vu).any():
+                    keep = False
+            if keep:
+                kept_ids.append(u)
+                kept_dists.append(float(dist_vu))
+        # Connectivity guard: backfill the closest dropped neighbors.
+        if len(kept_ids) < min_degree:
+            for u, dist_vu in zip(neighbor_ids, neighbor_dists):
+                u = int(u)
+                if u not in kept_ids:
+                    kept_ids.append(u)
+                    kept_dists.append(float(dist_vu))
+                if len(kept_ids) >= min_degree:
+                    break
+        order = np.lexsort((np.asarray(kept_ids),
+                            np.asarray(kept_dists)))
+        pruned.set_row(v, np.asarray(kept_ids)[order],
+                       np.asarray(kept_dists)[order])
+    return pruned
+
+
+def pruning_stats(original: ProximityGraph,
+                  pruned: ProximityGraph) -> dict:
+    """Summary of what a pruning pass removed."""
+    if original.n_vertices != pruned.n_vertices:
+        raise GraphError("graphs must have the same vertex count")
+    before = original.n_edges()
+    after = pruned.n_edges()
+    return {
+        "edges_before": before,
+        "edges_after": after,
+        "kept_fraction": after / before if before else 1.0,
+        "mean_degree_before": float(original.degrees.mean()),
+        "mean_degree_after": float(pruned.degrees.mean()),
+    }

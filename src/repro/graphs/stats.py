@@ -1,0 +1,92 @@
+"""Graph statistics and quality measures.
+
+Besides simple degree statistics, this module provides the two quality
+measures the evaluation leans on:
+
+- :func:`reachable_fraction` — share of vertices reachable from the entry
+  point (a disconnected graph caps achievable recall);
+- :func:`edge_recall_against` — how much of a reference graph's edge set a
+  candidate graph reproduces, used to verify the Section IV-C claim that
+  GGraphCon's output matches sequential insertion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import ProximityGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of one proximity graph."""
+
+    n_vertices: int
+    n_edges: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    reachable_from_entry: float
+    memory_bytes: int
+
+
+def average_out_degree(graph: ProximityGraph) -> float:
+    """Mean out-degree."""
+    return float(graph.degrees.mean())
+
+
+def reachable_fraction(graph: ProximityGraph, entry: int = 0) -> float:
+    """Fraction of vertices reachable from ``entry`` by directed BFS."""
+    if not 0 <= entry < graph.n_vertices:
+        raise GraphError(
+            f"entry {entry} out of range [0, {graph.n_vertices})"
+        )
+    seen = np.zeros(graph.n_vertices, dtype=bool)
+    seen[entry] = True
+    frontier = deque([entry])
+    while frontier:
+        v = frontier.popleft()
+        for u in graph.neighbor_ids[v, :graph.degrees[v]]:
+            u = int(u)
+            if not seen[u]:
+                seen[u] = True
+                frontier.append(u)
+    return float(seen.mean())
+
+
+def edge_recall_against(candidate: ProximityGraph,
+                        reference: ProximityGraph) -> float:
+    """Fraction of the reference graph's directed edges present in
+    ``candidate``.
+
+    1.0 means the candidate contains every reference edge; this is the
+    measure used to check GGraphCon-vs-sequential equivalence.
+    """
+    if candidate.n_vertices != reference.n_vertices:
+        raise GraphError(
+            f"graphs have different vertex counts: {candidate.n_vertices} "
+            f"vs {reference.n_vertices}"
+        )
+    reference_edges = reference.edge_set()
+    if not reference_edges:
+        return 1.0
+    candidate_edges = candidate.edge_set()
+    shared = len(reference_edges & candidate_edges)
+    return shared / len(reference_edges)
+
+
+def graph_stats(graph: ProximityGraph, entry: int = 0) -> GraphStats:
+    """Collect a :class:`GraphStats` summary."""
+    return GraphStats(
+        n_vertices=graph.n_vertices,
+        n_edges=graph.n_edges(),
+        min_degree=int(graph.degrees.min()),
+        max_degree=int(graph.degrees.max()),
+        mean_degree=average_out_degree(graph),
+        reachable_from_entry=reachable_fraction(graph, entry),
+        memory_bytes=graph.memory_bytes(),
+    )

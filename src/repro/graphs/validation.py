@@ -1,0 +1,114 @@
+"""Structural validation of proximity graphs.
+
+Construction algorithms promise a handful of invariants (Section II-A's two
+properties plus the dense-layout contract).  :func:`validate_graph` checks
+them all and raises :class:`repro.errors.GraphError` with a precise message
+on the first violation; tests and the high-level index call it after every
+build.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import PAD_ID, ProximityGraph
+
+
+def validate_graph(graph: ProximityGraph, points: Optional[np.ndarray] = None,
+                   d_min: Optional[int] = None,
+                   check_distances: bool = False,
+                   atol: float = 1e-4) -> None:
+    """Validate a graph's structural invariants.
+
+    Checks, in order:
+
+    1. Dense-layout consistency: each row's first ``degree`` entries are
+       valid ids, the rest are padding.
+    2. No self-loops, no duplicate neighbors within a row.
+    3. Rows sorted ascending by distance.
+    4. Degree bounds: every degree ``<= d_max`` and, when ``d_min`` is
+       given, every vertex except possibly the first ``d_min`` inserted has
+       degree ``>= min(d_min, what was available)`` — the paper's
+       lower-bound property (2).
+    5. When ``points`` is given and ``check_distances`` is set, stored
+       distances match recomputed ones to within ``atol``.
+
+    Args:
+        graph: Graph to validate.
+        points: Point matrix for distance re-checks.
+        d_min: Construction lower bound to verify, if any.
+        check_distances: Recompute and compare stored distances (slower).
+        atol: Absolute tolerance for distance comparison.
+
+    Raises:
+        GraphError: Describing the first violated invariant.
+    """
+    n = graph.n_vertices
+    ids = graph.neighbor_ids
+    dists = graph.neighbor_dists
+    degrees = graph.degrees
+
+    if np.any(degrees < 0) or np.any(degrees > graph.d_max):
+        bad = int(np.flatnonzero((degrees < 0) | (degrees > graph.d_max))[0])
+        raise GraphError(
+            f"vertex {bad} has degree {degrees[bad]} outside [0, {graph.d_max}]"
+        )
+
+    columns = np.arange(graph.d_max)
+    live = columns[None, :] < degrees[:, None]
+
+    live_ids = ids[live]
+    if live_ids.size and (live_ids.min() < 0 or live_ids.max() >= n):
+        raise GraphError("adjacency row contains an out-of-range vertex id")
+    if np.any(ids[~live] != PAD_ID):
+        bad = int(np.flatnonzero(np.any((ids != PAD_ID) & ~live, axis=1))[0])
+        raise GraphError(
+            f"vertex {bad} has non-padding entries past its degree"
+        )
+    own = np.arange(n)[:, None]
+    if np.any((ids == own) & live):
+        bad = int(np.flatnonzero(np.any((ids == own) & live, axis=1))[0])
+        raise GraphError(f"vertex {bad} has a self-loop")
+
+    for v in range(n):
+        degree = degrees[v]
+        row = ids[v, :degree]
+        if len(np.unique(row)) != degree:
+            raise GraphError(f"vertex {v} has duplicate neighbors")
+        row_dists = dists[v, :degree]
+        if np.any(np.diff(row_dists) < 0):
+            raise GraphError(
+                f"vertex {v}'s row is not sorted ascending by distance"
+            )
+
+    if d_min is not None:
+        if d_min <= 0:
+            raise GraphError(f"d_min must be positive, got {d_min}")
+        # During sequential insertion the i-th point can link to at most i
+        # earlier points, so the enforceable bound is min(d_min, n - 1).
+        floor = min(d_min, n - 1)
+        too_small = np.flatnonzero(degrees < floor)
+        if too_small.size:
+            raise GraphError(
+                f"{too_small.size} vertices (first: {int(too_small[0])}) "
+                f"have degree below the d_min floor of {floor}"
+            )
+
+    if points is not None and check_distances:
+        metric = graph.metric
+        for v in range(n):
+            degree = degrees[v]
+            if degree == 0:
+                continue
+            row = ids[v, :degree]
+            expected = metric.one_to_many(points[v], points[row])
+            stored = dists[v, :degree]
+            if not np.allclose(stored, expected, atol=atol):
+                worst = float(np.abs(stored - expected).max())
+                raise GraphError(
+                    f"vertex {v} stores distances deviating from recomputed "
+                    f"values by up to {worst:.3g}"
+                )

@@ -1,0 +1,52 @@
+"""Recall computation.
+
+The paper's accuracy measure (Section II-A and V): for a query ``q`` with
+exact neighbor set ``N(q)`` and returned set ``X``, precision/recall is
+``|X ∩ N(q)| / k``.  Both sets have size ``k``, so precision and recall
+coincide; the paper calls it recall and so do we.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def recall_per_query(returned: np.ndarray, ground_truth: np.ndarray) -> np.ndarray:
+    """Per-query recall of returned neighbor ids against the truth.
+
+    Args:
+        returned: ``(n_queries, k)`` int array of returned ids.  Entries of
+            ``-1`` denote padding (fewer than ``k`` results) and never match.
+        ground_truth: ``(n_queries, k)`` int array of exact neighbor ids.
+
+    Returns:
+        ``(n_queries,)`` float array of recall values in ``[0, 1]``.
+    """
+    returned = np.asarray(returned)
+    ground_truth = np.asarray(ground_truth)
+    if returned.ndim != 2 or ground_truth.ndim != 2:
+        raise ConfigurationError(
+            "recall expects 2-D (n_queries, k) id arrays, got shapes "
+            f"{returned.shape} and {ground_truth.shape}"
+        )
+    if returned.shape[0] != ground_truth.shape[0]:
+        raise ConfigurationError(
+            f"query counts differ: {returned.shape[0]} returned vs "
+            f"{ground_truth.shape[0]} ground truth"
+        )
+    k = ground_truth.shape[1]
+    if k == 0:
+        raise ConfigurationError("ground truth must contain at least 1 neighbor")
+    hits = np.zeros(returned.shape[0], dtype=np.float64)
+    for i in range(returned.shape[0]):
+        row = returned[i]
+        row = row[row >= 0]
+        hits[i] = np.intersect1d(row, ground_truth[i]).size
+    return hits / k
+
+
+def recall_at_k(returned: np.ndarray, ground_truth: np.ndarray) -> float:
+    """Mean recall across queries (the number Figures 6/8/12 plot)."""
+    return float(recall_per_query(returned, ground_truth).mean())

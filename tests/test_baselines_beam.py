@@ -1,0 +1,130 @@
+"""Tests for Algorithm 1 beam search."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.beam import beam_search, beam_search_batch
+from repro.datasets.ground_truth import exact_knn
+from repro.errors import SearchError
+from repro.graphs.adjacency import ProximityGraph
+
+
+def _line_graph():
+    """Points on a line, chained bidirectionally: search is exact."""
+    points = np.arange(10, dtype=np.float64)[:, None]
+    g = ProximityGraph(10, 4)
+    for v in range(9):
+        g.insert_edge(v, v + 1, 1.0)
+        g.insert_edge(v + 1, v, 1.0)
+    return g, points
+
+
+class TestExactOnEasyGraph:
+    def test_finds_true_neighbors_on_line(self):
+        g, points = _line_graph()
+        result = beam_search(g, points, np.array([4.6]), k=3, ef=6)
+        assert np.array_equal(result.ids, [5, 4, 6])
+
+    def test_distances_sorted_ascending(self):
+        g, points = _line_graph()
+        result = beam_search(g, points, np.array([2.2]), k=5, ef=8)
+        assert (np.diff(result.dists) >= 0).all()
+
+    def test_high_ef_matches_brute_force(self, small_graph, small_points,
+                                          small_queries):
+        gt = exact_knn(small_points, small_queries[:10], 5)
+        hits = 0
+        for row in range(10):
+            result = beam_search(small_graph, small_points,
+                                 small_queries[row], k=5, ef=128)
+            hits += len(np.intersect1d(result.ids, gt[row]))
+        assert hits / 50 > 0.9
+
+
+class TestBudgetSemantics:
+    def test_ef_defaults_to_k(self):
+        g, points = _line_graph()
+        result = beam_search(g, points, np.array([0.0]), k=2)
+        assert len(result.ids) == 2
+
+    def test_larger_ef_never_reduces_recall(self, small_graph, small_points,
+                                            small_queries):
+        gt = exact_knn(small_points, small_queries[:5], 10)
+        for row in range(5):
+            small = beam_search(small_graph, small_points,
+                                small_queries[row], k=10, ef=10)
+            large = beam_search(small_graph, small_points,
+                                small_queries[row], k=10, ef=64)
+            assert (len(np.intersect1d(large.ids, gt[row]))
+                    >= len(np.intersect1d(small.ids, gt[row])) - 1)
+
+    def test_counters_grow_with_ef(self, small_graph, small_points,
+                                   small_queries):
+        small = beam_search(small_graph, small_points, small_queries[0],
+                            k=5, ef=8)
+        large = beam_search(small_graph, small_points, small_queries[0],
+                            k=5, ef=64)
+        assert large.n_distance_computations > small.n_distance_computations
+        assert large.n_iterations > small.n_iterations
+
+
+class TestCounters:
+    def test_no_distance_recomputation(self, small_graph, small_points,
+                                       small_queries):
+        """With the visited hash, each vertex's distance is computed at
+        most once: count <= number of distinct visited vertices."""
+        result = beam_search(small_graph, small_points, small_queries[0],
+                             k=5, ef=32)
+        assert result.n_distance_computations <= small_graph.n_vertices
+        # Hash probes cover every scanned neighbor (>= distances).
+        assert result.n_hash_probes >= result.n_distance_computations - 1
+
+
+class TestValidation:
+    def test_rejects_bad_k(self, small_graph, small_points):
+        with pytest.raises(SearchError, match="k must be positive"):
+            beam_search(small_graph, small_points, small_points[0], k=0)
+
+    def test_rejects_ef_below_k(self, small_graph, small_points):
+        with pytest.raises(SearchError, match="at least k"):
+            beam_search(small_graph, small_points, small_points[0], k=5,
+                        ef=3)
+
+    def test_rejects_bad_entry(self, small_graph, small_points):
+        with pytest.raises(SearchError, match="entry"):
+            beam_search(small_graph, small_points, small_points[0], k=1,
+                        entry=10 ** 6)
+
+
+class TestBatch:
+    def test_batch_shape_and_padding(self):
+        g, points = _line_graph()
+        ids = beam_search_batch(g, points, points[:3], k=4, ef=8)
+        assert ids.shape == (3, 4)
+        assert (ids >= 0).all()
+
+    def test_batch_matches_single(self, small_graph, small_points,
+                                  small_queries):
+        batch = beam_search_batch(small_graph, small_points,
+                                  small_queries[:5], k=5, ef=16)
+        for row in range(5):
+            single = beam_search(small_graph, small_points,
+                                 small_queries[row], k=5, ef=16)
+            assert np.array_equal(batch[row], single.ids)
+
+    def test_batch_rejects_1d_queries(self, small_graph, small_points):
+        with pytest.raises(SearchError, match="2-D"):
+            beam_search_batch(small_graph, small_points, small_points[0],
+                              k=2)
+
+    def test_unreachable_vertices_padded(self):
+        # Two disconnected pairs; searching from entry 0 reaches only 2.
+        points = np.array([[0.0], [1.0], [50.0], [51.0]])
+        g = ProximityGraph(4, 2)
+        g.insert_edge(0, 1, 1.0)
+        g.insert_edge(1, 0, 1.0)
+        g.insert_edge(2, 3, 1.0)
+        g.insert_edge(3, 2, 1.0)
+        ids = beam_search_batch(g, points, np.array([[0.2]]), k=4, ef=8)
+        assert set(ids[0][ids[0] >= 0].tolist()) == {0, 1}
+        assert (ids[0][2:] == -1).all()

@@ -1,0 +1,150 @@
+"""Tests for the bounded min-max heap, incl. model-based property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.minmax_heap import MinMaxHeap
+from repro.errors import ConfigurationError
+
+
+def _check_minmax_invariant(heap: MinMaxHeap) -> None:
+    """Every node on a min level is <= all its descendants; every node on
+    a max level is >= all its descendants."""
+    from repro.baselines.minmax_heap import _is_min_level
+
+    items = heap._items
+    for index in range(len(items)):
+        stack = [2 * index + 1, 2 * index + 2]
+        while stack:
+            child = stack.pop()
+            if child >= len(items):
+                continue
+            if _is_min_level(index):
+                assert items[index] <= items[child]
+            else:
+                assert items[index] >= items[child]
+            stack.extend([2 * child + 1, 2 * child + 2])
+
+
+class TestBasicOperations:
+    def test_push_and_min_max(self):
+        heap = MinMaxHeap(bound=8)
+        for dist in (3.0, 1.0, 4.0, 1.5):
+            heap.push((dist, int(dist * 10)))
+        assert heap.min() == (1.0, 10)
+        assert heap.max() == (4.0, 40)
+
+    def test_pop_min_ascending(self):
+        heap = MinMaxHeap(bound=16)
+        values = [5.0, 2.0, 8.0, 1.0, 9.0, 3.0]
+        for i, v in enumerate(values):
+            heap.push((v, i))
+        popped = [heap.pop_min()[0] for _ in range(len(values))]
+        assert popped == sorted(values)
+
+    def test_pop_max_descending(self):
+        heap = MinMaxHeap(bound=16)
+        values = [5.0, 2.0, 8.0, 1.0, 9.0, 3.0]
+        for i, v in enumerate(values):
+            heap.push((v, i))
+        popped = [heap.pop_max()[0] for _ in range(len(values))]
+        assert popped == sorted(values, reverse=True)
+
+    def test_empty_heap_raises(self):
+        heap = MinMaxHeap(bound=4)
+        with pytest.raises(ConfigurationError, match="empty"):
+            heap.min()
+        with pytest.raises(ConfigurationError, match="empty"):
+            heap.max()
+
+    def test_bad_bound(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            MinMaxHeap(bound=0)
+
+    def test_len_and_bool(self):
+        heap = MinMaxHeap(bound=4)
+        assert not heap
+        heap.push((1.0, 0))
+        assert heap
+        assert len(heap) == 1
+
+
+class TestBoundedSemantics:
+    def test_eviction_keeps_best(self):
+        heap = MinMaxHeap(bound=3)
+        for i, v in enumerate((5.0, 3.0, 4.0)):
+            assert heap.push((v, i))
+        assert heap.push((1.0, 9))  # evicts 5.0
+        assert heap.as_sorted_list() == [(1.0, 9), (3.0, 1), (4.0, 2)]
+
+    def test_worse_than_max_rejected_when_full(self):
+        heap = MinMaxHeap(bound=2)
+        heap.push((1.0, 0))
+        heap.push((2.0, 1))
+        assert not heap.push((3.0, 2))
+        assert len(heap) == 2
+
+    def test_tie_break_by_id(self):
+        heap = MinMaxHeap(bound=2)
+        heap.push((1.0, 5))
+        heap.push((1.0, 2))
+        assert not heap.push((1.0, 9))  # (1.0, 9) >= max (1.0, 5)
+        assert heap.push((1.0, 1))      # better than (1.0, 5)
+        assert heap.as_sorted_list() == [(1.0, 1), (1.0, 2)]
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=0,
+                    max_size=200),
+           st.integers(min_value=1, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sorted_truncation(self, values, bound):
+        """A bounded min-max heap fed a stream keeps exactly the bound
+        smallest (dist, id) pairs."""
+        heap = MinMaxHeap(bound=bound)
+        keys = [(v, i) for i, v in enumerate(values)]
+        for key in keys:
+            heap.push(key)
+        assert heap.as_sorted_list() == sorted(keys)[:bound]
+
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.floats(min_value=0, max_value=100)),
+                    min_size=1, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_under_mixed_operations(self, operations):
+        """The structural min-max invariant holds after any interleaving
+        of pushes and pops."""
+        heap = MinMaxHeap(bound=16)
+        reference = []
+        for i, (is_push, value) in enumerate(operations):
+            if is_push or not reference:
+                key = (value, i)
+                inserted = heap.push(key)
+                if inserted:
+                    reference.append(key)
+                    reference.sort()
+                    reference[:] = reference[:16]
+                    if len(reference) > len(heap):
+                        reference.pop()
+            else:
+                assert heap.pop_min() == reference.pop(0)
+            _check_minmax_invariant(heap)
+            assert heap.as_sorted_list() == sorted(reference)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_interleaved_min_max_pops(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(0, 1, size=40)
+        heap = MinMaxHeap(bound=64)
+        for i, v in enumerate(values):
+            heap.push((float(v), i))
+        remaining = sorted((float(v), i) for i, v in enumerate(values))
+        while remaining:
+            if rng.random() < 0.5:
+                assert heap.pop_min() == remaining.pop(0)
+            else:
+                assert heap.pop_max() == remaining.pop()
+            _check_minmax_invariant(heap)

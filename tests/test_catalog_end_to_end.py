@@ -1,0 +1,57 @@
+"""End-to-end mini runs over every Table I stand-in.
+
+One small build + search per catalog dataset: catches metric plumbing,
+dimensionality and generator issues that single-dataset tests miss
+(e.g. cosine-path bugs would only surface on nytimes/glove200).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import build_nsw_gpu
+from repro.core.ganns import ganns_search
+from repro.core.params import BuildParams, SearchParams
+from repro.datasets.catalog import DATASET_SPECS, load_dataset
+from repro.graphs.validation import validate_graph
+from repro.metrics.recall import recall_at_k
+
+PARAMS = BuildParams(d_min=8, d_max=16, n_blocks=8)
+
+
+@pytest.fixture(scope="module", params=sorted(DATASET_SPECS))
+def built(request):
+    """(dataset, graph) for one catalog stand-in, built once per module."""
+    dataset = load_dataset(request.param, n_points=700, n_queries=40)
+    report = build_nsw_gpu(dataset.points, PARAMS,
+                           metric=dataset.metric_name)
+    return dataset, report.graph
+
+
+class TestEveryDataset:
+    def test_build_validates(self, built):
+        dataset, graph = built
+        validate_graph(graph, points=dataset.points,
+                       check_distances=True)
+        assert graph.metric_name == dataset.metric_name
+
+    def test_search_recall_sane(self, built):
+        dataset, graph = built
+        report = ganns_search(graph, dataset.points, dataset.queries,
+                              SearchParams(k=10, l_n=128))
+        recall = recall_at_k(report.ids, dataset.ground_truth(10))
+        # Loose floor: even the hard stand-ins clear this at l_n=128 on
+        # 700 points; a metric or generator regression would crater it.
+        assert recall > 0.3, f"{dataset.name}: recall {recall}"
+
+    def test_self_queries_exact(self, built):
+        dataset, graph = built
+        report = ganns_search(graph, dataset.points, dataset.points[:5],
+                              SearchParams(k=3, l_n=128))
+        assert np.allclose(report.dists[:, 0], 0.0,
+                           atol=1e-5), dataset.name
+
+    def test_simulated_throughput_positive(self, built):
+        dataset, graph = built
+        report = ganns_search(graph, dataset.points, dataset.queries[:10],
+                              SearchParams(k=5, l_n=64))
+        assert report.queries_per_second() > 0

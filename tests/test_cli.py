@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_build_defaults(self):
+        args = build_parser().parse_args(["build", "sift1m"])
+        assert args.graph_type == "nsw"
+        assert args.strategy == "ggraphcon"
+        assert args.d_max == 32
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_datasets_lists_all_ten(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sift1m", "gist", "nytimes", "glove200", "uq_v",
+                     "msong", "notre", "ukbench", "deep", "sift10m"):
+            assert name in out
+
+    def test_device_shows_calibration(self, capsys):
+        assert main(["device"]) == 0
+        out = capsys.readouterr().out
+        assert "Quadro P5000" in out
+        assert "time_scale" in out
+
+    def test_build_and_search_round_trip(self, tmp_path, capsys,
+                                         monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        index_path = str(tmp_path / "idx.npz")
+        code = main(["build", "sift1m", "--points", "600",
+                     "--queries", "20", "--d-min", "6", "--d-max", "12",
+                     "--blocks", "8", "-o", index_path])
+        assert code == 0
+        assert os.path.exists(index_path)
+        out = capsys.readouterr().out
+        assert "ggraphcon-ganns" in out
+
+        code = main(["search", "sift1m", "--points", "600",
+                     "--queries", "20", "-i", index_path, "-k", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recall@5" in out
+        assert "queries/s" in out
+
+    def test_tune(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["tune", "sift1m", "--points", "700",
+                     "--queries", "20", "--target", "0.5",
+                     "--d-min", "8", "--d-max", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "target recall 0.5" in out
+        assert "chosen ganns setting" in out
+
+    def test_build_hnsw(self, tmp_path, capsys):
+        index_path = str(tmp_path / "hidx.npz")
+        code = main(["build", "sift1m", "--points", "500",
+                     "--queries", "10", "--graph-type", "hnsw",
+                     "--d-min", "6", "--d-max", "12", "--blocks", "4",
+                     "-o", index_path])
+        assert code == 0
+        assert os.path.exists(index_path)

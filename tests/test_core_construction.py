@@ -1,0 +1,139 @@
+"""Tests for GGraphCon NSW construction, including the Section IV-C
+equivalence theorem."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nsw_cpu import build_nsw_cpu
+from repro.core.construction import build_nsw_gpu
+from repro.core.params import BuildParams
+from repro.errors import ConstructionError
+from repro.graphs.stats import edge_recall_against, reachable_fraction
+from repro.graphs.validation import validate_graph
+from repro.gpusim.tracker import PhaseCategory
+
+
+PARAMS = BuildParams(d_min=6, d_max=12, n_blocks=8)
+
+
+class TestEquivalenceTheorem:
+    """Section IV-C: given exact nearest neighbors, Algorithm 2 generates
+    the same NSW graph as sequential insertion."""
+
+    @pytest.mark.parametrize("n_blocks", [2, 5, 16])
+    def test_exact_mode_equals_sequential_insertion(self, small_points,
+                                                    n_blocks):
+        points = small_points[:250]
+        params = PARAMS.with_overrides(n_blocks=n_blocks)
+        gpu = build_nsw_gpu(points, params, exact=True)
+        cpu = build_nsw_cpu(points, params.d_min, params.d_max, exact=True)
+        assert gpu.graph.edge_set() == cpu.graph.edge_set()
+
+    def test_exact_mode_cosine(self, cosine_points):
+        points = cosine_points[:200]
+        params = PARAMS.with_overrides(n_blocks=4)
+        gpu = build_nsw_gpu(points, params, metric="cosine", exact=True)
+        cpu = build_nsw_cpu(points, params.d_min, params.d_max,
+                            metric="cosine", exact=True)
+        assert gpu.graph.edge_set() == cpu.graph.edge_set()
+
+    def test_single_group_is_sequential(self, small_points):
+        points = small_points[:150]
+        params = PARAMS.with_overrides(n_blocks=1)
+        gpu = build_nsw_gpu(points, params, exact=True)
+        cpu = build_nsw_cpu(points, params.d_min, params.d_max, exact=True)
+        assert gpu.graph.edge_set() == cpu.graph.edge_set()
+
+
+class TestApproximateQuality:
+    def test_graph_validates(self, small_points):
+        report = build_nsw_gpu(small_points[:300], PARAMS)
+        validate_graph(report.graph, points=small_points[:300],
+                       check_distances=True)
+
+    def test_connected(self, small_points):
+        report = build_nsw_gpu(small_points[:300], PARAMS)
+        assert reachable_fraction(report.graph, 0) > 0.95
+
+    def test_edge_overlap_with_sequential(self, small_points):
+        """Approximate-search GGraphCon produces a graph sharing most
+        edges with the sequential build (Figure 12's quality match)."""
+        points = small_points[:300]
+        gpu = build_nsw_gpu(points, PARAMS)
+        cpu = build_nsw_cpu(points, PARAMS.d_min, PARAMS.d_max)
+        assert edge_recall_against(gpu.graph, cpu.graph) > 0.5
+
+    def test_search_recall_matches_sequential(self, small_points,
+                                              small_queries):
+        from repro.core.ganns import ganns_search
+        from repro.core.params import SearchParams
+        from repro.datasets.ground_truth import exact_knn
+        from repro.metrics.recall import recall_at_k
+
+        points = small_points[:400]
+        gt = exact_knn(points, small_queries, 10)
+        gpu_graph = build_nsw_gpu(points, PARAMS).graph
+        cpu_graph = build_nsw_cpu(points, PARAMS.d_min, PARAMS.d_max).graph
+        search = SearchParams(k=10, l_n=64)
+        r_gpu = recall_at_k(
+            ganns_search(gpu_graph, points, small_queries, search).ids, gt)
+        r_cpu = recall_at_k(
+            ganns_search(cpu_graph, points, small_queries, search).ids, gt)
+        assert r_gpu > r_cpu - 0.08
+
+
+class TestTimingModel:
+    def test_phase_seconds_present(self, small_points):
+        report = build_nsw_gpu(small_points[:200], PARAMS)
+        assert "local_construction" in report.phase_seconds
+        assert "merge_search" in report.phase_seconds
+        assert report.seconds == pytest.approx(
+            sum(report.phase_seconds.values()))
+
+    def test_category_split_sums_to_total(self, small_points):
+        report = build_nsw_gpu(small_points[:200], PARAMS)
+        assert sum(report.category_seconds.values()) == pytest.approx(
+            report.seconds, rel=1e-6)
+
+    def test_ganns_kernel_builds_faster_than_song(self, small_points):
+        """GGraphCon_GANNS vs GGraphCon_SONG (Section V-B: 1.4-3.3x)."""
+        points = small_points[:300]
+        ganns = build_nsw_gpu(points, PARAMS, search_kernel="ganns")
+        song = build_nsw_gpu(points, PARAMS, search_kernel="song")
+        assert song.seconds / ganns.seconds > 1.2
+        # Same construction, same traversals: identical graphs.
+        assert ganns.graph.edge_set() == song.graph.edge_set()
+
+    def test_more_blocks_build_faster(self, small_points):
+        """Inter-block parallelism pays (Figure 14's direction)."""
+        points = small_points[:400]
+        few = build_nsw_gpu(points, PARAMS.with_overrides(n_blocks=2))
+        many = build_nsw_gpu(points, PARAMS.with_overrides(n_blocks=32))
+        assert many.seconds < few.seconds
+
+    def test_details_recorded(self, small_points):
+        report = build_nsw_gpu(small_points[:200],
+                               PARAMS.with_overrides(n_blocks=5))
+        assert report.details["n_groups"] == 5
+        assert report.details["merge_iterations"] == 4
+        assert report.n_points == 200
+        assert report.algorithm == "ggraphcon-ganns"
+
+
+class TestValidation:
+    def test_rejects_empty_points(self):
+        with pytest.raises(ConstructionError, match="non-empty"):
+            build_nsw_gpu(np.zeros((0, 4)), PARAMS)
+
+    def test_rejects_unknown_kernel(self, small_points):
+        with pytest.raises(Exception, match="kernel"):
+            build_nsw_gpu(small_points[:50], PARAMS,
+                          search_kernel="magic")
+
+    def test_more_groups_than_points_clamped(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(20, 4)).astype(np.float32)
+        report = build_nsw_gpu(points,
+                               BuildParams(d_min=2, d_max=4, n_blocks=100))
+        assert report.details["n_groups"] <= 20
+        validate_graph(report.graph)

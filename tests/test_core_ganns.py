@@ -1,0 +1,186 @@
+"""Tests for the batched GANNS search."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.beam import beam_search_batch
+from repro.core.ganns import ganns_search
+from repro.core.params import SearchParams
+from repro.datasets.ground_truth import exact_knn
+from repro.errors import SearchError
+from repro.gpusim.tracker import PhaseCategory
+from repro.metrics.recall import recall_at_k
+
+
+class TestResultQuality:
+    def test_matches_beam_search_recall(self, small_graph, small_points,
+                                        small_queries):
+        """GANNS follows the same search paradigm; its recall must track
+        Algorithm 1's at comparable budget."""
+        gt = exact_knn(small_points, small_queries, 10)
+        ganns = ganns_search(small_graph, small_points, small_queries,
+                             SearchParams(k=10, l_n=64))
+        beam = beam_search_batch(small_graph, small_points, small_queries,
+                                 10, ef=64)
+        assert recall_at_k(ganns.ids, gt) == pytest.approx(
+            recall_at_k(beam, gt), abs=0.05)
+
+    def test_high_budget_high_recall(self, small_graph, small_points,
+                                     small_queries):
+        gt = exact_knn(small_points, small_queries, 10)
+        report = ganns_search(small_graph, small_points, small_queries,
+                              SearchParams(k=10, l_n=128))
+        assert recall_at_k(report.ids, gt) > 0.9
+
+    def test_recall_monotone_in_e(self, small_graph, small_points,
+                                  small_queries):
+        gt = exact_knn(small_points, small_queries, 10)
+        recalls = []
+        for e in (10, 24, 64):
+            report = ganns_search(small_graph, small_points, small_queries,
+                                  SearchParams(k=10, l_n=64, e=e))
+            recalls.append(recall_at_k(report.ids, gt))
+        assert recalls[0] <= recalls[1] + 0.02
+        assert recalls[1] <= recalls[2] + 0.02
+
+    def test_dists_sorted_and_consistent(self, small_graph, small_points,
+                                         small_queries):
+        report = ganns_search(small_graph, small_points, small_queries,
+                              SearchParams(k=10, l_n=64))
+        finite = np.isfinite(report.dists)
+        assert (np.diff(report.dists, axis=1)[finite[:, 1:]] >= 0).all()
+        # Returned distances match recomputed ones.
+        metric = small_graph.metric
+        for row in range(3):
+            ids = report.ids[row][report.ids[row] >= 0]
+            expected = metric.one_to_many(small_queries[row],
+                                          small_points[ids])
+            assert np.allclose(report.dists[row][:len(ids)], expected)
+
+    def test_self_query_returns_self_first(self, small_graph, small_points):
+        report = ganns_search(small_graph, small_points, small_points[:6],
+                              SearchParams(k=5, l_n=64))
+        assert np.array_equal(report.ids[:, 0], np.arange(6))
+
+    def test_cosine_metric(self, cosine_graph, cosine_points):
+        report = ganns_search(cosine_graph, cosine_points,
+                              cosine_points[:6], SearchParams(k=3, l_n=64))
+        assert np.array_equal(report.ids[:, 0], np.arange(6))
+
+    def test_per_query_entries(self, small_graph, small_points,
+                               small_queries):
+        entries = np.arange(len(small_queries)) % small_graph.n_vertices
+        report = ganns_search(small_graph, small_points, small_queries,
+                              SearchParams(k=5, l_n=64), entry=entries)
+        assert report.ids.shape == (len(small_queries), 5)
+
+
+class TestLazyCheck:
+    def test_no_duplicate_ids_in_results(self, small_graph, small_points,
+                                         small_queries):
+        report = ganns_search(small_graph, small_points, small_queries,
+                              SearchParams(k=10, l_n=64))
+        for row in report.ids:
+            live = row[row >= 0]
+            assert len(np.unique(live)) == len(live)
+
+    def test_redundant_distances_exist_but_bounded(self, small_graph,
+                                                   small_points,
+                                                   small_queries):
+        """Lazy check trades recomputation for hash removal: GANNS
+        computes more distances than the visited-hash beam search, but
+        not explosively more."""
+        from repro.baselines.beam import beam_search
+        report = ganns_search(small_graph, small_points, small_queries,
+                              SearchParams(k=10, l_n=64))
+        beam_total = sum(
+            beam_search(small_graph, small_points, q, 10, ef=64)
+            .n_distance_computations for q in small_queries)
+        assert report.n_distance_computations >= beam_total
+        assert report.n_distance_computations < 10 * beam_total
+
+    def test_disabling_lazy_check_costs_more_distance_work(
+            self, small_graph, small_points, small_queries):
+        """Ablation: without phase (4) redundant exploration propagates."""
+        with_check = ganns_search(small_graph, small_points, small_queries,
+                                  SearchParams(k=10, l_n=64))
+        without = ganns_search(small_graph, small_points, small_queries,
+                               SearchParams(k=10, l_n=64), lazy_check=False)
+        assert (without.n_distance_computations
+                >= with_check.n_distance_computations)
+
+    def test_lazy_check_required_for_quality_at_fixed_budget(
+            self, small_graph, small_points, small_queries):
+        """Why phase (4) exists: without it, re-discovered vertices flood
+        the pool with duplicates, the effective explored set collapses,
+        and recall craters at the same (l_n, e) budget."""
+        gt = exact_knn(small_points, small_queries, 10)
+        with_check = ganns_search(small_graph, small_points, small_queries,
+                                  SearchParams(k=10, l_n=64))
+        without = ganns_search(small_graph, small_points, small_queries,
+                               SearchParams(k=10, l_n=64), lazy_check=False)
+        assert (recall_at_k(with_check.ids, gt)
+                > recall_at_k(without.ids, gt) + 0.3)
+
+
+class TestCostAccounting:
+    def test_all_six_phases_charged(self, small_graph, small_points,
+                                    small_queries):
+        report = ganns_search(small_graph, small_points, small_queries[:5],
+                              SearchParams(k=5, l_n=64))
+        assert set(report.tracker.phase_names) == {
+            "candidate_locating", "neighborhood_exploration",
+            "bulk_distance", "lazy_check", "sorting", "candidate_update",
+        }
+
+    def test_structure_ops_scale_with_threads(self, small_graph,
+                                              small_points, small_queries):
+        """GANNS's defining property (Figure 10): structure time shrinks
+        near-linearly with n_t."""
+        lo = ganns_search(small_graph, small_points, small_queries[:5],
+                          SearchParams(k=5, l_n=64, n_threads=4))
+        hi = ganns_search(small_graph, small_points, small_queries[:5],
+                          SearchParams(k=5, l_n=64, n_threads=32))
+        lo_struct = lo.tracker.category_totals()[PhaseCategory.STRUCTURE]
+        hi_struct = hi.tracker.category_totals()[PhaseCategory.STRUCTURE]
+        assert lo_struct / hi_struct > 3.0
+
+    def test_iterations_close_to_e_budget(self, small_graph, small_points,
+                                          small_queries):
+        report = ganns_search(small_graph, small_points, small_queries[:5],
+                              SearchParams(k=5, l_n=64, e=16))
+        assert (report.iterations >= 1).all()
+        # Every iteration explores one vertex from the first e slots;
+        # replacement allows more than e iterations but same order.
+        assert (report.iterations <= 16 * 8).all()
+
+    def test_lane_cycles_vary_per_query(self, small_graph, small_points,
+                                        small_queries):
+        report = ganns_search(small_graph, small_points, small_queries,
+                              SearchParams(k=5, l_n=64))
+        cycles = report.tracker.lane_cycles()
+        assert cycles.std() > 0
+
+
+class TestValidation:
+    def test_rejects_1d_queries(self, small_graph, small_points):
+        with pytest.raises(SearchError, match="2-D"):
+            ganns_search(small_graph, small_points, small_points[0],
+                         SearchParams())
+
+    def test_rejects_dim_mismatch(self, small_graph, small_points):
+        with pytest.raises(SearchError, match="disagree"):
+            ganns_search(small_graph, small_points, np.zeros((2, 3)),
+                         SearchParams())
+
+    def test_rejects_empty_queries(self, small_graph, small_points):
+        with pytest.raises(SearchError, match="empty"):
+            ganns_search(small_graph, small_points,
+                         np.zeros((0, small_points.shape[1])),
+                         SearchParams())
+
+    def test_rejects_bad_entry(self, small_graph, small_points,
+                               small_queries):
+        with pytest.raises(SearchError, match="entry"):
+            ganns_search(small_graph, small_points, small_queries,
+                         SearchParams(), entry=-3)

@@ -1,0 +1,154 @@
+"""Tests for the high-level GannsIndex API."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import GannsIndex
+from repro.core.params import BuildParams
+from repro.errors import ConfigurationError, SearchError
+
+PARAMS = BuildParams(d_min=6, d_max=12, n_blocks=8)
+
+
+@pytest.fixture(scope="module")
+def points():
+    from repro.datasets.synthetic import gaussian_mixture
+    return gaussian_mixture(500, 16, n_clusters=8, cluster_std=0.3,
+                            intrinsic_dim=8, seed=11)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    from repro.datasets.synthetic import gaussian_mixture
+    return gaussian_mixture(25, 16, n_clusters=8, cluster_std=0.3,
+                            intrinsic_dim=8, seed=12)
+
+
+@pytest.fixture(scope="module")
+def ground_truth(points, queries):
+    from repro.datasets.ground_truth import exact_knn
+    return exact_knn(points, queries, 10)
+
+
+class TestBuild:
+    def test_nsw_default(self, points, queries, ground_truth):
+        index = GannsIndex.build(points, params=PARAMS)
+        assert index.graph_type == "nsw"
+        recall = index.evaluate_recall(queries, ground_truth, k=10, l_n=64)
+        assert recall > 0.8
+
+    @pytest.mark.parametrize("strategy", ["naive-parallel", "serial"])
+    def test_nsw_other_strategies(self, points, strategy):
+        index = GannsIndex.build(points, strategy=strategy, params=PARAMS)
+        assert index.build_report.algorithm.startswith(
+            {"naive-parallel": "gnaiveparallel",
+             "serial": "gserial"}[strategy])
+
+    def test_hnsw(self, points, queries, ground_truth):
+        index = GannsIndex.build(points, graph_type="hnsw", params=PARAMS)
+        assert index.order is not None
+        recall = index.evaluate_recall(queries, ground_truth, k=10, l_n=64)
+        assert recall > 0.7
+
+    def test_knn_graph(self, points):
+        index = GannsIndex.build(points, graph_type="knn", knn_k=8,
+                                 params=PARAMS)
+        assert (index.graph.degrees == 8).all()
+
+    def test_unknown_graph_type(self, points):
+        with pytest.raises(ConfigurationError, match="graph_type"):
+            GannsIndex.build(points, graph_type="rtree")
+
+    def test_unknown_strategy(self, points):
+        with pytest.raises(ConfigurationError, match="strategy"):
+            GannsIndex.build(points, strategy="quantum")
+
+    def test_hnsw_rejects_other_strategies(self, points):
+        with pytest.raises(ConfigurationError, match="ggraphcon"):
+            GannsIndex.build(points, graph_type="hnsw", strategy="serial")
+
+    def test_from_graph(self, points):
+        from repro.baselines.nsw_cpu import build_nsw_cpu
+        graph = build_nsw_cpu(points, 8, 16).graph
+        index = GannsIndex.from_graph(points, graph)
+        ids, dists = index.search(points[:3], k=5, l_n=64)
+        assert np.array_equal(ids[:, 0], np.arange(3))
+        assert np.allclose(dists[:, 0], 0.0, atol=1e-9)
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def index(self, points):
+        return GannsIndex.build(points, params=PARAMS)
+
+    def test_search_shapes(self, index, queries):
+        ids, dists = index.search(queries, k=7)
+        assert ids.shape == (25, 7)
+        assert dists.shape == (25, 7)
+
+    def test_all_algorithms_agree_on_easy_queries(self, index, points):
+        for algorithm in ("ganns", "song", "beam"):
+            ids, _ = index.search(points[:4], k=3, algorithm=algorithm,
+                                  l_n=64)
+            assert np.array_equal(ids[:, 0], np.arange(4)), algorithm
+
+    def test_search_report_has_tracker(self, index, queries):
+        report = index.search_report(queries, k=5, l_n=64)
+        assert report.tracker.total_cycles() > 0
+        assert report.queries_per_second() > 0
+
+    def test_default_l_n_scales_with_k(self, index, queries):
+        report = index.search_report(queries, k=25)
+        assert report.ids.shape[1] == 25
+
+    def test_unknown_algorithm(self, index, queries):
+        with pytest.raises(SearchError, match="algorithm"):
+            index.search(queries, k=5, algorithm="faiss")
+
+    def test_e_budget_knob(self, index, queries, ground_truth):
+        low = index.evaluate_recall(queries, ground_truth, k=10,
+                                    l_n=64, e=8)
+        high = index.evaluate_recall(queries, ground_truth, k=10,
+                                     l_n=64, e=64)
+        assert high >= low
+
+
+class TestHnswIdMapping:
+    def test_ids_are_original_ids(self, points):
+        index = GannsIndex.build(points, graph_type="hnsw", params=PARAMS)
+        # Self-queries must return the original row numbers.
+        ids, _ = index.search(points[:6], k=3, l_n=64)
+        assert np.array_equal(ids[:, 0], np.arange(6))
+
+
+class TestPersistence:
+    def test_flat_round_trip(self, points, queries, tmp_path):
+        index = GannsIndex.build(points, params=PARAMS)
+        path = tmp_path / "index.npz"
+        index.save(path)
+        loaded = GannsIndex.load(path)
+        a, _ = index.search(queries, k=5, l_n=64)
+        b, _ = loaded.search(queries, k=5, l_n=64)
+        assert np.array_equal(a, b)
+
+    def test_hierarchical_round_trip(self, points, queries, tmp_path):
+        index = GannsIndex.build(points, graph_type="hnsw", params=PARAMS)
+        path = tmp_path / "hindex.npz"
+        index.save(path)
+        loaded = GannsIndex.load(path)
+        assert loaded.graph.n_layers == index.graph.n_layers
+        a, _ = index.search(queries, k=5, l_n=64)
+        b, _ = loaded.search(queries, k=5, l_n=64)
+        assert np.array_equal(a, b)
+
+    def test_version_check(self, points, tmp_path):
+        index = GannsIndex.build(points, params=PARAMS)
+        path = tmp_path / "index.npz"
+        index.save(path)
+        # Corrupt the version.
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["format_version"] = np.array(999)
+        np.savez(path, **arrays)
+        with pytest.raises(ConfigurationError, match="format version"):
+            GannsIndex.load(path)

@@ -1,0 +1,85 @@
+"""Tests for search/build parameter validation."""
+
+import pytest
+
+from repro.core.params import BuildParams, SearchParams
+from repro.errors import ConfigurationError
+
+
+class TestSearchParams:
+    def test_defaults(self):
+        p = SearchParams()
+        assert p.k == 10
+        assert p.l_n == 64
+        assert p.explore_budget == 64
+        assert p.n_threads == 32
+
+    def test_explicit_e(self):
+        assert SearchParams(e=16).explore_budget == 16
+
+    @pytest.mark.parametrize("l_n", [32, 64, 128, 256])
+    def test_paper_pool_lengths_accepted(self, l_n):
+        assert SearchParams(l_n=l_n).l_n == l_n
+
+    def test_non_pow2_pool_rejected_with_hint(self):
+        with pytest.raises(ConfigurationError, match="64"):
+            SearchParams(l_n=48)
+
+    def test_k_above_pool_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot exceed"):
+            SearchParams(k=100, l_n=64)
+
+    def test_e_bounds(self):
+        with pytest.raises(ConfigurationError, match="e must lie"):
+            SearchParams(e=0)
+        with pytest.raises(ConfigurationError, match="e must lie"):
+            SearchParams(l_n=32, e=33)
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            SearchParams(k=0)
+
+    def test_bad_threads(self):
+        with pytest.raises(ConfigurationError, match="n_threads"):
+            SearchParams(n_threads=-1)
+
+    def test_with_overrides_revalidates(self):
+        p = SearchParams()
+        with pytest.raises(ConfigurationError):
+            p.with_overrides(l_n=48)
+        assert p.with_overrides(k=5).k == 5
+
+
+class TestBuildParams:
+    def test_paper_defaults(self):
+        p = BuildParams()
+        assert p.d_min == 16
+        assert p.d_max == 32
+        assert p.effective_ef == 32
+
+    def test_effective_search_l_n_pow2(self):
+        p = BuildParams(d_min=16, d_max=32)
+        assert p.effective_search_l_n == 32
+        p = BuildParams(d_min=16, d_max=32, ef_construction=48)
+        assert p.effective_search_l_n == 64
+
+    def test_explicit_search_l_n(self):
+        assert BuildParams(search_l_n=128).effective_search_l_n == 128
+        with pytest.raises(ConfigurationError, match="power of two"):
+            BuildParams(search_l_n=100)
+
+    def test_dmin_above_dmax_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot exceed"):
+            BuildParams(d_min=64, d_max=32)
+
+    def test_ef_below_dmin_rejected(self):
+        with pytest.raises(ConfigurationError, match="ef_construction"):
+            BuildParams(d_min=16, ef_construction=8)
+
+    def test_bad_blocks_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_blocks"):
+            BuildParams(n_blocks=0)
+
+    def test_with_overrides(self):
+        p = BuildParams().with_overrides(n_blocks=50)
+        assert p.n_blocks == 50

@@ -1,0 +1,93 @@
+"""Tests for the streamed multi-batch pipeline (the Section III-B
+stream-overlap remark)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ganns import ganns_search
+from repro.core.params import SearchParams
+from repro.core.pipeline import stream_batches
+from repro.errors import SearchError
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SearchParams(k=5, l_n=32)
+
+
+class TestCorrectness:
+    def test_results_match_unbatched_search(self, small_graph,
+                                            small_points, small_queries,
+                                            params):
+        streamed = stream_batches(small_graph, small_points,
+                                  small_queries, params, batch_size=7)
+        direct = ganns_search(small_graph, small_points, small_queries,
+                              params)
+        assert np.array_equal(streamed.ids, direct.ids)
+        assert np.allclose(streamed.dists, direct.dists)
+
+    def test_batch_partitioning(self, small_graph, small_points,
+                                small_queries, params):
+        streamed = stream_batches(small_graph, small_points,
+                                  small_queries, params, batch_size=16)
+        sizes = [b.n_queries for b in streamed.batches]
+        assert sum(sizes) == len(small_queries)
+        assert all(size <= 16 for size in sizes)
+
+    def test_single_batch(self, small_graph, small_points, small_queries,
+                          params):
+        streamed = stream_batches(small_graph, small_points,
+                                  small_queries, params,
+                                  batch_size=10_000)
+        assert len(streamed.batches) == 1
+
+
+class TestOverlapTiming:
+    def test_overlap_never_slower_than_serial(self, small_graph,
+                                              small_points, small_queries,
+                                              params):
+        streamed = stream_batches(small_graph, small_points,
+                                  small_queries, params, batch_size=8)
+        assert streamed.overlapped_seconds <= streamed.serial_seconds
+        assert 0.0 <= streamed.overlap_saving < 1.0
+
+    def test_overlap_at_least_compute_bound(self, small_graph,
+                                            small_points, small_queries,
+                                            params):
+        streamed = stream_batches(small_graph, small_points,
+                                  small_queries, params, batch_size=8)
+        compute_total = sum(b.compute_seconds for b in streamed.batches)
+        assert streamed.overlapped_seconds >= compute_total
+
+    def test_transfer_nearly_hidden(self, small_graph, small_points,
+                                    small_queries, params):
+        """The paper's remark quantified: with overlap, the stream costs
+        barely more than pure compute."""
+        streamed = stream_batches(small_graph, small_points,
+                                  small_queries, params, batch_size=8)
+        compute_total = sum(b.compute_seconds for b in streamed.batches)
+        exposed = streamed.overlapped_seconds - compute_total
+        transfer_total = sum(b.upload_seconds + b.download_seconds
+                             for b in streamed.batches)
+        assert exposed <= transfer_total * 0.6 + 1e-9
+
+    def test_multiple_batches_amortise_better(self, small_graph,
+                                              small_points, small_queries,
+                                              params):
+        many = stream_batches(small_graph, small_points, small_queries,
+                              params, batch_size=5)
+        assert many.overlap_saving >= 0.0
+        assert len(many.batches) >= 2
+
+
+class TestValidation:
+    def test_empty_queries(self, small_graph, small_points, params):
+        with pytest.raises(SearchError, match="non-empty"):
+            stream_batches(small_graph, small_points,
+                           np.zeros((0, small_points.shape[1])), params)
+
+    def test_bad_batch_size(self, small_graph, small_points,
+                            small_queries, params):
+        with pytest.raises(SearchError, match="batch_size"):
+            stream_batches(small_graph, small_points, small_queries,
+                           params, batch_size=0)

@@ -1,0 +1,83 @@
+"""Tests for search reports and their timing conversions."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import (
+    ConstructionReport,
+    SearchReport,
+    make_search_tracker,
+)
+from repro.gpusim.tracker import PhaseCategory
+
+
+def _report(n_queries=4, cycles=1000.0):
+    tracker = make_search_tracker(n_queries, "ganns")
+    tracker.charge("bulk_distance", cycles)
+    tracker.charge("sorting", cycles / 2)
+    return SearchReport(
+        algorithm="ganns",
+        ids=np.zeros((n_queries, 10), dtype=np.int64),
+        dists=np.zeros((n_queries, 10)),
+        tracker=tracker,
+        n_threads=32,
+        shared_mem_bytes=1024,
+        iterations=np.full(n_queries, 7),
+        n_distance_computations=100,
+    )
+
+
+class TestSearchReport:
+    def test_n_queries(self):
+        assert _report(6).n_queries == 6
+
+    def test_launch_and_qps_consistent(self):
+        report = _report()
+        launch = report.launch()
+        qps = report.queries_per_second()
+        assert qps == pytest.approx(report.n_queries / launch.seconds)
+
+    def test_qps_decreases_with_more_cycles(self):
+        fast = _report(cycles=100.0)
+        slow = _report(cycles=10_000.0)
+        assert fast.queries_per_second() > slow.queries_per_second()
+
+    def test_category_seconds_sum_to_launch_seconds(self):
+        report = _report()
+        seconds = report.category_seconds()
+        assert sum(seconds.values()) == pytest.approx(
+            report.launch().seconds)
+
+    def test_structure_fraction(self):
+        report = _report()
+        # bulk_distance 1000 (distance), sorting 500 (structure).
+        assert report.structure_fraction() == pytest.approx(1 / 3)
+
+    def test_breakdown_uses_phase_names(self):
+        breakdown = _report().breakdown()
+        assert set(breakdown) == {"bulk_distance", "sorting"}
+
+    def test_ganns_tracker_categories(self):
+        tracker = make_search_tracker(1, "ganns")
+        assert tracker.category_of("bulk_distance") is PhaseCategory.DISTANCE
+        for phase in ("candidate_locating", "neighborhood_exploration",
+                      "lazy_check", "sorting", "candidate_update"):
+            assert tracker.category_of(phase) is PhaseCategory.STRUCTURE
+
+    def test_song_tracker_categories(self):
+        tracker = make_search_tracker(1, "song")
+        assert tracker.category_of("bulk_distance") is PhaseCategory.DISTANCE
+        assert (tracker.category_of("candidates_locating")
+                is PhaseCategory.STRUCTURE)
+        assert (tracker.category_of("structures_updating")
+                is PhaseCategory.STRUCTURE)
+
+
+class TestConstructionReport:
+    def test_speedup_over(self):
+        report = ConstructionReport(algorithm="x", graph=None, seconds=2.0)
+        assert report.speedup_over(10.0) == 5.0
+
+    def test_speedup_with_zero_seconds(self):
+        report = ConstructionReport(algorithm="x", graph=None, seconds=0.0)
+        assert report.speedup_over(1.0) == float("inf")

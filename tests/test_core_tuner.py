@@ -1,0 +1,110 @@
+"""Tests for the recall-targeted auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuner import (
+    DEFAULT_GANNS_GRID,
+    TuningResult,
+    tune_search,
+)
+from repro.errors import ConfigurationError, SearchError
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    from repro.baselines.nsw_cpu import build_nsw_cpu
+    from repro.datasets.synthetic import gaussian_mixture
+
+    points = gaussian_mixture(1200, 24, n_clusters=8, cluster_std=0.3,
+                              intrinsic_dim=8, seed=21)
+    queries = gaussian_mixture(60, 24, n_clusters=8, cluster_std=0.3,
+                               intrinsic_dim=8, seed=22)
+    graph = build_nsw_cpu(points, d_min=8, d_max=16).graph
+    return graph, points, queries
+
+
+class TestTuneGanns:
+    def test_meets_moderate_target(self, setup):
+        graph, points, queries = setup
+        result = tune_search(graph, points, queries, target_recall=0.7)
+        assert result.target_met
+        assert result.recall >= 0.7
+        assert result.qps > 0
+        assert result.setting in DEFAULT_GANNS_GRID
+
+    def test_returns_cheapest_qualifying_setting(self, setup):
+        """A stricter target must never yield a *cheaper* setting."""
+        graph, points, queries = setup
+        loose = tune_search(graph, points, queries, target_recall=0.5)
+        strict = tune_search(graph, points, queries, target_recall=0.9)
+        loose_idx = DEFAULT_GANNS_GRID.index(loose.setting)
+        strict_idx = DEFAULT_GANNS_GRID.index(strict.setting)
+        assert strict_idx >= loose_idx
+        assert loose.qps >= strict.qps
+
+    def test_binary_search_evaluates_log_many(self, setup):
+        graph, points, queries = setup
+        result = tune_search(graph, points, queries, target_recall=0.7)
+        import math
+        assert len(result.evaluations) <= math.ceil(
+            math.log2(len(DEFAULT_GANNS_GRID))) + 1
+
+    def test_unreachable_target_reports_best_effort(self, setup):
+        graph, points, queries = setup
+        result = tune_search(graph, points, queries, target_recall=1.0,
+                             grid=[(32, 8), (32, 16)])
+        if not result.target_met:
+            assert result.recall < 1.0
+            assert result.setting in ((32, 8), (32, 16))
+
+    def test_custom_grid(self, setup):
+        graph, points, queries = setup
+        result = tune_search(graph, points, queries, target_recall=0.1,
+                             grid=[(64, 64)])
+        assert result.setting == (64, 64)
+
+
+class TestTuneSong:
+    def test_song_tuning(self, setup):
+        graph, points, queries = setup
+        result = tune_search(graph, points, queries, target_recall=0.7,
+                             algorithm="song")
+        assert result.algorithm == "song"
+        assert result.target_met
+        assert result.recall >= 0.7
+
+    def test_ganns_faster_than_song_at_same_target(self, setup):
+        graph, points, queries = setup
+        ganns = tune_search(graph, points, queries, target_recall=0.8)
+        song = tune_search(graph, points, queries, target_recall=0.8,
+                           algorithm="song")
+        if ganns.target_met and song.target_met:
+            assert ganns.qps > song.qps
+
+
+class TestValidation:
+    def test_bad_target(self, setup):
+        graph, points, queries = setup
+        with pytest.raises(ConfigurationError, match="target_recall"):
+            tune_search(graph, points, queries, target_recall=0.0)
+
+    def test_bad_algorithm(self, setup):
+        graph, points, queries = setup
+        with pytest.raises(SearchError, match="algorithm"):
+            tune_search(graph, points, queries, target_recall=0.5,
+                        algorithm="faiss")
+
+    def test_empty_grid(self, setup):
+        graph, points, queries = setup
+        with pytest.raises(ConfigurationError, match="grid"):
+            tune_search(graph, points, queries, target_recall=0.5,
+                        grid=[])
+
+    def test_precomputed_ground_truth(self, setup):
+        from repro.datasets.ground_truth import exact_knn
+        graph, points, queries = setup
+        gt = exact_knn(points, queries, 10)
+        result = tune_search(graph, points, queries, target_recall=0.5,
+                             ground_truth=gt)
+        assert isinstance(result, TuningResult)

@@ -1,0 +1,55 @@
+"""Tests for dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.catalog import load_dataset
+from repro.datasets.io import load_dataset_file, save_dataset
+from repro.errors import DatasetError
+
+
+class TestRoundTrip:
+    def test_points_queries_metric_preserved(self, tmp_path):
+        ds = load_dataset("nytimes", n_points=300, n_queries=10)
+        path = tmp_path / "ds.npz"
+        save_dataset(ds, path)
+        loaded = load_dataset_file(path)
+        assert loaded.name == ds.name
+        assert loaded.metric_name == "cosine"
+        assert np.array_equal(loaded.points, ds.points)
+        assert np.array_equal(loaded.queries, ds.queries)
+
+    def test_ground_truth_cache_preserved(self, tmp_path):
+        ds = load_dataset("sift1m", n_points=200, n_queries=8)
+        gt = ds.ground_truth(5)
+        path = tmp_path / "ds.npz"
+        save_dataset(ds, path)
+        loaded = load_dataset_file(path)
+        assert np.array_equal(loaded._ground_truth_cache[5], gt)
+
+    def test_loaded_dataset_can_compute_more_ground_truth(self, tmp_path):
+        ds = load_dataset("sift1m", n_points=200, n_queries=8)
+        path = tmp_path / "ds.npz"
+        save_dataset(ds, path)
+        loaded = load_dataset_file(path)
+        assert loaded.ground_truth(3).shape == (8, 3)
+
+
+class TestErrorHandling:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="cannot read"):
+            load_dataset_file(tmp_path / "nope.npz")
+
+    def test_missing_arrays(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, points=np.zeros((2, 2)))
+        with pytest.raises(DatasetError, match="missing arrays"):
+            load_dataset_file(path)
+
+    def test_wrong_format_version(self, tmp_path):
+        path = tmp_path / "old.npz"
+        np.savez(path, format_version=np.array(999), name=np.array("x"),
+                 metric_name=np.array("euclidean"),
+                 points=np.zeros((2, 2)), queries=np.zeros((1, 2)))
+        with pytest.raises(DatasetError, match="format version"):
+            load_dataset_file(path)

@@ -1,0 +1,72 @@
+"""Determinism: every pipeline stage is a pure function of its inputs.
+
+Reproducibility is a headline property of this package (the benchmark
+suite's numbers must be re-derivable), so identical inputs must yield
+bit-identical outputs everywhere.
+"""
+
+import numpy as np
+
+from repro.baselines.song import SongParams, song_search
+from repro.core.construction import build_nsw_gpu
+from repro.core.ganns import ganns_search
+from repro.core.params import BuildParams, SearchParams
+
+
+class TestSearchDeterminism:
+    def test_ganns_bitwise_repeatable(self, small_graph, small_points,
+                                      small_queries):
+        params = SearchParams(k=10, l_n=64)
+        a = ganns_search(small_graph, small_points, small_queries, params)
+        b = ganns_search(small_graph, small_points, small_queries, params)
+        assert np.array_equal(a.ids, b.ids)
+        assert np.array_equal(a.dists, b.dists)
+        assert np.array_equal(a.iterations, b.iterations)
+        assert a.tracker.total_cycles() == b.tracker.total_cycles()
+
+    def test_song_bitwise_repeatable(self, small_graph, small_points,
+                                     small_queries):
+        params = SongParams(k=10, pq_bound=32)
+        a = song_search(small_graph, small_points, small_queries[:10],
+                        params)
+        b = song_search(small_graph, small_points, small_queries[:10],
+                        params)
+        assert np.array_equal(a.ids, b.ids)
+        assert a.n_distance_computations == b.n_distance_computations
+
+    def test_query_order_does_not_change_per_query_results(
+            self, small_graph, small_points, small_queries):
+        """Lock-step batching must not couple queries."""
+        params = SearchParams(k=5, l_n=64)
+        forward = ganns_search(small_graph, small_points, small_queries,
+                               params)
+        reversed_report = ganns_search(small_graph, small_points,
+                                       small_queries[::-1].copy(), params)
+        assert np.array_equal(forward.ids, reversed_report.ids[::-1])
+
+    def test_subset_of_batch_matches_full_batch(self, small_graph,
+                                                small_points,
+                                                small_queries):
+        params = SearchParams(k=5, l_n=64)
+        full = ganns_search(small_graph, small_points, small_queries,
+                            params)
+        half = ganns_search(small_graph, small_points, small_queries[:7],
+                            params)
+        assert np.array_equal(full.ids[:7], half.ids)
+
+
+class TestConstructionDeterminism:
+    def test_ggraphcon_repeatable(self, small_points):
+        params = BuildParams(d_min=6, d_max=12, n_blocks=8)
+        a = build_nsw_gpu(small_points[:200], params)
+        b = build_nsw_gpu(small_points[:200], params)
+        assert np.array_equal(a.graph.neighbor_ids, b.graph.neighbor_ids)
+        assert a.seconds == b.seconds
+
+    def test_point_dtype_float32_vs_float64_same_graph(self, small_points):
+        """float32 inputs are computed in float64 internally; feeding the
+        widened array directly must give the same graph."""
+        params = BuildParams(d_min=6, d_max=12, n_blocks=8)
+        a = build_nsw_gpu(small_points[:150], params)
+        b = build_nsw_gpu(small_points[:150].astype(np.float64), params)
+        assert np.array_equal(a.graph.neighbor_ids, b.graph.neighbor_ids)

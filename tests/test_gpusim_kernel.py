@@ -1,0 +1,161 @@
+"""Tests for kernel-launch scheduling and cycle-to-time conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.costs import DEFAULT_COSTS
+from repro.gpusim.device import QUADRO_P5000
+from repro.gpusim.kernel import KernelLaunch, _makespan
+
+
+class TestMakespan:
+    def test_fits_in_one_wave(self):
+        cycles = np.array([5.0, 3.0, 4.0])
+        assert _makespan(cycles, concurrency=8) == 5.0
+
+    def test_uniform_blocks_closed_form(self):
+        cycles = np.full(10, 2.0)
+        # 10 blocks over 4 slots -> 3 waves of 2 cycles.
+        assert _makespan(cycles, concurrency=4) == 6.0
+
+    def test_lpt_packing(self):
+        cycles = np.array([4.0, 3.0, 2.0, 1.0])
+        # Two slots: LPT gives {4,1} and {3,2} -> makespan 5.
+        assert _makespan(cycles, concurrency=2) == 5.0
+
+    def test_empty_grid(self):
+        assert _makespan(np.zeros(0), concurrency=4) == 0.0
+
+    def test_makespan_bounds(self):
+        rng = np.random.default_rng(0)
+        cycles = rng.uniform(1, 100, size=57)
+        concurrency = 8
+        result = _makespan(cycles, concurrency)
+        lower = max(cycles.max(), cycles.sum() / concurrency)
+        assert lower <= result <= cycles.sum()
+
+
+class TestKernelLaunch:
+    def test_concurrency_from_occupancy(self):
+        kernel = KernelLaunch(QUADRO_P5000, n_threads=32)
+        assert kernel.concurrency == QUADRO_P5000.concurrent_blocks(32)
+
+    def test_sub_warp_block_occupies_full_warp_slot(self):
+        """A 4-thread block still takes a warp slot: Figure 10's n_t sweep
+        changes per-block speed, not device-level concurrency."""
+        small = KernelLaunch(QUADRO_P5000, n_threads=4)
+        full = KernelLaunch(QUADRO_P5000, n_threads=32)
+        assert small.concurrency == full.concurrency
+
+    def test_run_scalar_cycles(self):
+        kernel = KernelLaunch(QUADRO_P5000, n_threads=32)
+        result = kernel.run(1000.0, n_blocks=10)
+        assert result.n_blocks == 10
+        assert result.total_cycles == 10_000.0
+        assert result.makespan_cycles == 1000.0
+
+    def test_run_vector_cycles(self):
+        kernel = KernelLaunch(QUADRO_P5000, n_threads=32)
+        result = kernel.run(np.array([100.0, 200.0]))
+        assert result.n_blocks == 2
+        assert result.makespan_cycles == 200.0
+
+    def test_scalar_requires_n_blocks(self):
+        kernel = KernelLaunch(QUADRO_P5000)
+        with pytest.raises(ConfigurationError, match="n_blocks"):
+            kernel.run(100.0)
+
+    def test_vector_n_blocks_mismatch_rejected(self):
+        kernel = KernelLaunch(QUADRO_P5000)
+        with pytest.raises(ConfigurationError, match="disagrees"):
+            kernel.run(np.array([1.0, 2.0]), n_blocks=3)
+
+    def test_negative_cycles_rejected(self):
+        kernel = KernelLaunch(QUADRO_P5000)
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            kernel.run(np.array([-1.0]))
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            KernelLaunch(QUADRO_P5000, n_threads=0)
+
+    def test_seconds_uses_time_scale(self):
+        kernel = KernelLaunch(QUADRO_P5000, n_threads=32)
+        seconds = kernel.cycles_to_seconds(1e9)
+        expected = 1e9 * DEFAULT_COSTS.time_scale / QUADRO_P5000.clock_hz
+        assert seconds == pytest.approx(expected)
+
+    def test_queries_per_second(self):
+        kernel = KernelLaunch(QUADRO_P5000, n_threads=32)
+        result = kernel.run(1000.0, n_blocks=100)
+        qps = kernel.queries_per_second(result)
+        assert qps == pytest.approx(100 / result.seconds)
+
+    def test_parallel_efficiency_in_unit_interval(self):
+        kernel = KernelLaunch(QUADRO_P5000, n_threads=32)
+        result = kernel.run(np.random.default_rng(0).uniform(1, 10, 2000))
+        assert 0.0 < result.parallel_efficiency <= 1.0
+
+    def test_more_blocks_than_slots_queue(self):
+        """Scaling work past device concurrency grows elapsed time
+        linearly — the saturation regime of Figure 14."""
+        kernel = KernelLaunch(QUADRO_P5000, n_threads=32)
+        c = kernel.concurrency
+        one_wave = kernel.run(100.0, n_blocks=c).seconds
+        four_waves = kernel.run(100.0, n_blocks=4 * c).seconds
+        assert four_waves == pytest.approx(4 * one_wave)
+
+
+class TestScheduleBlocks:
+    def _check_valid(self, placements, cycles, concurrency):
+        from collections import defaultdict
+        by_slot = defaultdict(list)
+        for p in placements:
+            assert 0 <= p.slot < concurrency
+            assert p.end_cycles == pytest.approx(
+                p.start_cycles + cycles[p.block])
+            by_slot[p.slot].append(p)
+        # No overlap within a slot.
+        for slot_placements in by_slot.values():
+            slot_placements.sort(key=lambda p: p.start_cycles)
+            for a, b in zip(slot_placements, slot_placements[1:]):
+                assert a.end_cycles <= b.start_cycles + 1e-9
+
+    def test_schedule_is_valid_and_matches_makespan(self):
+        from repro.gpusim.kernel import _makespan, schedule_blocks
+        rng = np.random.default_rng(0)
+        cycles = rng.uniform(1, 50, size=37)
+        placements = schedule_blocks(cycles, concurrency=5)
+        self._check_valid(placements, cycles, 5)
+        assert max(p.end_cycles for p in placements) == pytest.approx(
+            _makespan(cycles, 5))
+
+    def test_every_block_scheduled_once(self):
+        from repro.gpusim.kernel import schedule_blocks
+        placements = schedule_blocks([3.0, 1.0, 2.0], concurrency=2)
+        assert sorted(p.block for p in placements) == [0, 1, 2]
+
+    def test_rejects_bad_inputs(self):
+        from repro.gpusim.kernel import schedule_blocks
+        with pytest.raises(ConfigurationError, match="concurrency"):
+            schedule_blocks([1.0], concurrency=0)
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            schedule_blocks([-1.0], concurrency=2)
+
+    def test_render_timeline(self):
+        from repro.gpusim.kernel import render_timeline, schedule_blocks
+        placements = schedule_blocks([5.0, 3.0, 4.0, 1.0], concurrency=2)
+        art = render_timeline(placements, width=30)
+        assert "slot   0" in art and "slot   1" in art
+        assert "cycles" in art
+
+    def test_render_empty(self):
+        from repro.gpusim.kernel import render_timeline
+        assert "(empty schedule)" in render_timeline([])
+
+    def test_render_caps_slots(self):
+        from repro.gpusim.kernel import render_timeline, schedule_blocks
+        placements = schedule_blocks(np.ones(40), concurrency=20)
+        art = render_timeline(placements, max_slots=4)
+        assert "more slots" in art

@@ -1,0 +1,101 @@
+"""Tests for structural graph validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import ProximityGraph
+from repro.graphs.validation import validate_graph
+
+
+def _valid_graph():
+    g = ProximityGraph(6, 3)
+    g.set_row(0, [1, 2], [0.1, 0.2])
+    g.set_row(1, [0], [0.1])
+    g.set_row(2, [0, 3], [0.2, 0.5])
+    g.set_row(3, [2], [0.5])
+    g.set_row(4, [5], [0.3])
+    g.set_row(5, [4], [0.3])
+    return g
+
+
+class TestValidGraphPasses:
+    def test_valid_graph(self):
+        validate_graph(_valid_graph())
+
+    def test_empty_graph(self):
+        validate_graph(ProximityGraph(3, 2))
+
+    def test_distance_check_passes_on_true_distances(self):
+        points = np.array([[0.0], [1.0], [2.0], [4.0]])
+        g = ProximityGraph(4, 2)
+        g.set_row(0, [1, 2], [1.0, 4.0])
+        g.set_row(3, [2], [4.0])
+        validate_graph(g, points=points, check_distances=True)
+
+
+class TestViolationsDetected:
+    def test_degree_above_dmax(self):
+        g = _valid_graph()
+        g.degrees[0] = 5
+        with pytest.raises(GraphError, match="degree"):
+            validate_graph(g)
+
+    def test_out_of_range_id(self):
+        g = _valid_graph()
+        g.neighbor_ids[0, 0] = 99
+        with pytest.raises(GraphError, match="out-of-range"):
+            validate_graph(g)
+
+    def test_stale_entries_past_degree(self):
+        g = _valid_graph()
+        g.neighbor_ids[1, 2] = 4  # degree is 1
+        with pytest.raises(GraphError, match="past its degree"):
+            validate_graph(g)
+
+    def test_self_loop(self):
+        g = _valid_graph()
+        g.neighbor_ids[2, 0] = 2
+        with pytest.raises(GraphError, match="self-loop"):
+            validate_graph(g)
+
+    def test_duplicate_neighbors(self):
+        g = _valid_graph()
+        g.neighbor_ids[2, 1] = 0  # 0 already at slot 0
+        with pytest.raises(GraphError, match="duplicate"):
+            validate_graph(g)
+
+    def test_unsorted_row(self):
+        g = _valid_graph()
+        g.neighbor_dists[2] = [0.5, 0.2, np.inf]
+        with pytest.raises(GraphError, match="sorted"):
+            validate_graph(g)
+
+    def test_degree_floor(self):
+        g = _valid_graph()
+        with pytest.raises(GraphError, match="d_min floor"):
+            validate_graph(g, d_min=2)
+
+    def test_degree_floor_accounts_for_small_graphs(self):
+        # 2 vertices cannot satisfy d_min=5; floor is n - 1 = 1.
+        g = ProximityGraph(2, 8)
+        g.set_row(0, [1], [0.1])
+        g.set_row(1, [0], [0.1])
+        validate_graph(g, d_min=5)
+
+    def test_invalid_d_min(self):
+        with pytest.raises(GraphError, match="d_min must be positive"):
+            validate_graph(_valid_graph(), d_min=0)
+
+    def test_wrong_stored_distances(self):
+        points = np.array([[0.0], [1.0], [2.0], [4.0]])
+        g = ProximityGraph(4, 2)
+        g.set_row(0, [1, 2], [1.0, 3.0])  # true d(0,2) is 4.0
+        with pytest.raises(GraphError, match="deviating"):
+            validate_graph(g, points=points, check_distances=True)
+
+    def test_distance_check_skipped_without_flag(self):
+        points = np.array([[0.0], [1.0], [2.0], [4.0]])
+        g = ProximityGraph(4, 2)
+        g.set_row(0, [1, 2], [1.0, 3.0])
+        validate_graph(g, points=points, check_distances=False)

@@ -1,0 +1,66 @@
+"""Tests for the recall measure (Section II-A definition)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.recall import recall_at_k, recall_per_query
+
+
+class TestRecallPerQuery:
+    def test_perfect_recall(self):
+        truth = np.array([[1, 2, 3]])
+        assert recall_per_query(truth.copy(), truth)[0] == 1.0
+
+    def test_order_does_not_matter(self):
+        returned = np.array([[3, 1, 2]])
+        truth = np.array([[1, 2, 3]])
+        assert recall_per_query(returned, truth)[0] == 1.0
+
+    def test_partial_overlap(self):
+        returned = np.array([[1, 2, 9]])
+        truth = np.array([[1, 2, 3]])
+        assert recall_per_query(returned, truth)[0] == pytest.approx(2 / 3)
+
+    def test_no_overlap(self):
+        returned = np.array([[7, 8, 9]])
+        truth = np.array([[1, 2, 3]])
+        assert recall_per_query(returned, truth)[0] == 0.0
+
+    def test_padding_never_matches(self):
+        returned = np.array([[1, -1, -1]])
+        truth = np.array([[1, 2, 3]])
+        assert recall_per_query(returned, truth)[0] == pytest.approx(1 / 3)
+
+    def test_multiple_queries_independent(self):
+        returned = np.array([[1, 2], [5, 6]])
+        truth = np.array([[1, 2], [7, 8]])
+        assert np.allclose(recall_per_query(returned, truth), [1.0, 0.0])
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ConfigurationError, match="2-D"):
+            recall_per_query(np.array([1, 2]), np.array([[1, 2]]))
+
+    def test_rejects_query_count_mismatch(self):
+        with pytest.raises(ConfigurationError, match="counts differ"):
+            recall_per_query(np.zeros((2, 3), dtype=int),
+                             np.zeros((3, 3), dtype=int))
+
+    def test_rejects_empty_ground_truth(self):
+        with pytest.raises(ConfigurationError, match="at least 1"):
+            recall_per_query(np.zeros((1, 0), dtype=int),
+                             np.zeros((1, 0), dtype=int))
+
+
+class TestRecallAtK:
+    def test_mean_over_queries(self):
+        returned = np.array([[1, 2], [5, 6]])
+        truth = np.array([[1, 2], [5, 9]])
+        assert recall_at_k(returned, truth) == pytest.approx(0.75)
+
+    def test_bounded_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        returned = rng.integers(0, 50, size=(20, 10))
+        truth = rng.integers(0, 50, size=(20, 10))
+        value = recall_at_k(returned, truth)
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,126 @@
+"""Deeper property tests on the bitonic networks.
+
+The networks are the load-bearing data-parallel primitives of GANNS
+phases (5)/(6) and GGraphCon's merge step; these properties pin their
+semantics beyond simple sortedness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.sorting import (
+    bitonic_merge_network,
+    bitonic_sort_network,
+    merge_sorted_topm,
+    next_pow2,
+    pad_pow2,
+)
+
+
+def _random_records(rng, n):
+    dists = rng.normal(size=n)
+    ids = rng.permutation(n).astype(np.float64)
+    return dists, ids
+
+
+class TestSortProperties:
+    @given(st.integers(min_value=0, max_value=5),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_multiset_preserved(self, log_n, seed):
+        """Sorting permutes records; it never invents or loses one."""
+        n = 1 << log_n
+        rng = np.random.default_rng(seed)
+        dists, ids = _random_records(rng, n)
+        out_d, out_i = bitonic_sort_network(dists, ids)
+        assert sorted(out_d.tolist()) == sorted(dists.tolist())
+        assert sorted(out_i.tolist()) == sorted(ids.tolist())
+
+    @given(st.integers(min_value=0, max_value=5),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_records_stay_paired(self, log_n, seed):
+        """Each (dist, id) pair travels through the network intact."""
+        n = 1 << log_n
+        rng = np.random.default_rng(seed)
+        dists, ids = _random_records(rng, n)
+        pairs_in = set(zip(dists.tolist(), ids.tolist()))
+        out_d, out_i = bitonic_sort_network(dists, ids)
+        pairs_out = set(zip(out_d.tolist(), out_i.tolist()))
+        assert pairs_in == pairs_out
+
+    @given(st.integers(min_value=0, max_value=5),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent_on_sorted_input(self, log_n, seed):
+        n = 1 << log_n
+        rng = np.random.default_rng(seed)
+        dists = np.sort(rng.normal(size=n))
+        (once,) = bitonic_sort_network(dists)
+        (twice,) = bitonic_sort_network(once)
+        assert np.array_equal(once, twice)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_lexsort_on_duplicate_keys(self, seed):
+        """With duplicate distances, the (dist, id) lexicographic order
+        is the library-wide contract; the network must produce it."""
+        rng = np.random.default_rng(seed)
+        dists = rng.integers(0, 4, size=32).astype(np.float64)
+        ids = rng.permutation(32).astype(np.float64)
+        net_d, net_i = bitonic_sort_network(dists, ids)
+        order = np.lexsort((ids, dists))
+        assert np.array_equal(net_d, dists[order])
+        assert np.array_equal(net_i, ids[order])
+
+
+class TestMergeProperties:
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_sort_of_concatenation(self, log_half, seed):
+        half = 1 << log_half
+        rng = np.random.default_rng(seed)
+        a = np.sort(rng.normal(size=half))
+        b = np.sort(rng.normal(size=half))
+        (merged,) = bitonic_merge_network(np.concatenate([a, b]))
+        assert np.array_equal(merged, np.sort(np.concatenate([a, b])))
+
+    @given(st.integers(min_value=1, max_value=48),
+           st.integers(min_value=1, max_value=48),
+           st.integers(min_value=1, max_value=16),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_topm_is_exact_selection(self, la, lb, m, seed):
+        rng = np.random.default_rng(seed)
+        a = np.sort(rng.normal(size=la))
+        b = np.sort(rng.normal(size=lb))
+        m = min(m, la + lb)
+        (kept,) = merge_sorted_topm([a], [b], m)
+        expected = np.sort(np.concatenate([a, b]))[:m]
+        assert np.array_equal(kept, expected)
+
+    def test_pad_then_merge_matches_unpadded_selection(self):
+        """The GANNS phase-6 path: pad T with +inf to the pool width,
+        merge, truncate — identical to exact top-l_n selection."""
+        rng = np.random.default_rng(1)
+        pool = np.sort(rng.normal(size=64))
+        buffer = np.sort(rng.normal(size=20))
+        padded, = pad_pow2(buffer)
+        padded = np.concatenate([padded,
+                                 np.full(64 - len(padded), np.inf)])
+        merged, = bitonic_merge_network(np.concatenate([pool, padded]))
+        expected = np.sort(np.concatenate([pool, buffer]))[:64]
+        assert np.array_equal(merged[:64], expected)
+
+
+class TestPadProperties:
+    @given(st.integers(min_value=1, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_pad_reaches_power_of_two(self, n):
+        keys = np.zeros(n)
+        (padded,) = pad_pow2(keys)
+        assert len(padded) == next_pow2(n)
+        assert np.isinf(padded[n:]).all()
