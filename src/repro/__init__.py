@@ -14,6 +14,8 @@ The package provides:
   metrics (:mod:`repro.metrics`) and synthetic stand-ins for the paper's
   datasets (:mod:`repro.datasets`).
 - **GannsIndex**: the one-object high-level API.
+- **Serving** (:mod:`repro.serve`): dynamic micro-batching, result
+  caching and admission control for online query traffic.
 
 Quickstart:
     >>> import numpy as np
@@ -32,6 +34,8 @@ from repro.errors import (
     DatasetError,
     SearchError,
     ConstructionError,
+    ServeError,
+    OverloadError,
 )
 from repro.core import (
     GannsIndex,
@@ -59,6 +63,14 @@ from repro.baselines import (
 from repro.datasets import load_dataset, dataset_names, exact_knn
 from repro.graphs import ProximityGraph, HierarchicalGraph, validate_graph
 from repro.metrics import recall_at_k, get_metric
+from repro.serve import (
+    BatchPolicy,
+    QueryRequest,
+    ResultCache,
+    ServeEngine,
+    ServeReport,
+    synthetic_trace,
+)
 
 __all__ = [
     "__version__",
@@ -69,6 +81,8 @@ __all__ = [
     "DatasetError",
     "SearchError",
     "ConstructionError",
+    "ServeError",
+    "OverloadError",
     "GannsIndex",
     "tune_search",
     "stream_batches",
@@ -96,4 +110,10 @@ __all__ = [
     "validate_graph",
     "recall_at_k",
     "get_metric",
+    "BatchPolicy",
+    "QueryRequest",
+    "ResultCache",
+    "ServeEngine",
+    "ServeReport",
+    "synthetic_trace",
 ]

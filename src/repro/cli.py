@@ -10,6 +10,8 @@ Commands:
   GANNS and SONG on one dataset.
 - ``tune``     — find the fastest setting meeting a recall target.
 - ``device``   — show the simulated device and cost-table calibration.
+- ``serve-sim`` — replay a synthetic online query trace through the
+  batched serving engine and print its ``ServeReport``.
 """
 
 from __future__ import annotations
@@ -137,6 +139,41 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from repro.baselines.nsw_cpu import build_nsw_cpu
+    from repro.core.params import SearchParams
+    from repro.datasets.catalog import load_dataset
+    from repro.serve import (BatchPolicy, ResultCache, ServeEngine,
+                             synthetic_trace)
+
+    dataset = load_dataset(args.dataset, n_points=args.points,
+                           n_queries=args.queries)
+    graph = build_nsw_cpu(dataset.points, d_min=args.d_min,
+                          d_max=args.d_max).graph
+    params = SearchParams(k=args.k, l_n=args.l_n, e=args.e)
+    policy = BatchPolicy(max_batch=args.max_batch,
+                         max_wait_seconds=args.max_wait_ms * 1e-3,
+                         max_queue=args.queue_cap)
+    cache = (ResultCache(capacity=args.cache_size)
+             if args.cache_size > 0 else None)
+    engine = ServeEngine(graph, dataset.points, params, policy=policy,
+                         cache=cache)
+    trace = synthetic_trace(dataset.queries, args.requests,
+                            mean_qps=args.qps,
+                            repeat_fraction=args.repeat_fraction,
+                            seed=args.seed)
+    print(f"replaying {args.requests} requests over {dataset.name} "
+          f"({dataset.n_points} points, pool of {dataset.n_queries} "
+          f"distinct queries) at ~{args.qps:,.0f} req/s")
+    print(f"  policy: max_batch={policy.max_batch}, "
+          f"max_wait={args.max_wait_ms:g} ms, "
+          f"queue_cap={policy.max_queue}, "
+          f"cache={args.cache_size}")
+    report = engine.replay(trace)
+    print(report.summary())
+    return 0
+
+
 def _cmd_device(_args: argparse.Namespace) -> int:
     from repro.gpusim.costs import DEFAULT_COSTS
     from repro.gpusim.device import QUADRO_P5000
@@ -210,6 +247,35 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--d-max", type=int, default=32)
 
     sub.add_parser("device", help="show the simulated device")
+
+    serve = sub.add_parser(
+        "serve-sim",
+        help="replay an online query trace through the serving engine")
+    serve.add_argument("dataset", nargs="?", default="sift1m",
+                       help="Table I stand-in name (default sift1m)")
+    serve.add_argument("--points", type=int, default=2000,
+                       help="stand-in size (default 2000)")
+    serve.add_argument("--queries", type=int, default=500,
+                       help="distinct query pool size (default 500)")
+    serve.add_argument("--requests", type=int, default=10_000,
+                       help="trace length (default 10000)")
+    serve.add_argument("--qps", type=float, default=50_000.0,
+                       help="mean arrival rate, requests/s (default 50k)")
+    serve.add_argument("--repeat-fraction", type=float, default=0.3,
+                       help="share of hot-set repeats (default 0.3)")
+    serve.add_argument("--max-batch", type=int, default=256)
+    serve.add_argument("--max-wait-ms", type=float, default=1.0,
+                       help="batching window in ms (default 1.0)")
+    serve.add_argument("--queue-cap", type=int, default=8192,
+                       help="admission bound in queries (default 8192)")
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="result cache entries; 0 disables")
+    serve.add_argument("-k", type=int, default=10)
+    serve.add_argument("--l-n", type=int, default=64, dest="l_n")
+    serve.add_argument("-e", type=int, default=None)
+    serve.add_argument("--d-min", type=int, default=8)
+    serve.add_argument("--d-max", type=int, default=16)
+    serve.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -224,6 +290,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "tune": _cmd_tune,
         "device": _cmd_device,
+        "serve-sim": _cmd_serve_sim,
     }
     return handlers[args.command](args)
 

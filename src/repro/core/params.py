@@ -67,6 +67,16 @@ class SearchParams:
         """Copy with some fields replaced (re-validated)."""
         return replace(self, **kwargs)
 
+    def signature(self) -> tuple:
+        """Hashable identity of every result-affecting field.
+
+        Two invocations with equal signatures (on the same index) return
+        identical results, so the serving layer can key its result cache
+        on ``(quantized query, signature)``.  ``n_threads`` only shapes
+        the simulated clock, never the answer, and is excluded.
+        """
+        return ("ganns", self.k, self.l_n, self.explore_budget)
+
 
 @dataclass(frozen=True)
 class BuildParams:

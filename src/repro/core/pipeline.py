@@ -73,7 +73,8 @@ def stream_batches(graph: ProximityGraph, points: np.ndarray,
                    queries: np.ndarray, params: SearchParams,
                    batch_size: int = 2000,
                    device: DeviceSpec = QUADRO_P5000,
-                   costs: CostTable = DEFAULT_COSTS) -> StreamResult:
+                   costs: CostTable = DEFAULT_COSTS,
+                   entry: Union[int, np.ndarray] = 0) -> StreamResult:
     """Search a query stream in batches with simulated stream overlap.
 
     Args:
@@ -84,6 +85,8 @@ def stream_batches(graph: ProximityGraph, points: np.ndarray,
         batch_size: Queries per batch (the paper's example uses 2000).
         device: Simulated device (provides PCIe figures).
         costs: Cycle cost table.
+        entry: Start vertex, or a per-query ``(m,)`` id array; sliced
+            along with the queries when per-query entries are given.
 
     Returns:
         A :class:`StreamResult` with both serial and overlapped timings.
@@ -96,6 +99,17 @@ def stream_batches(graph: ProximityGraph, points: np.ndarray,
         )
     if batch_size <= 0:
         raise SearchError(f"batch_size must be positive, got {batch_size}")
+    entries = np.asarray(entry, dtype=np.int64)
+    if entries.ndim not in (0, 1):
+        raise SearchError(
+            f"entry must be a scalar or a (n_queries,) array, got shape "
+            f"{entries.shape}"
+        )
+    if entries.ndim == 1 and len(entries) != len(queries):
+        raise SearchError(
+            f"per-query entry array has {len(entries)} entries for "
+            f"{len(queries)} queries"
+        )
     transfer = TransferModel(device)
 
     reports: List[SearchReport] = []
@@ -104,7 +118,10 @@ def stream_batches(graph: ProximityGraph, points: np.ndarray,
     dists_parts = []
     for start in range(0, len(queries), batch_size):
         batch = queries[start:start + batch_size]
-        report = ganns_search(graph, points, batch, params, costs=costs)
+        batch_entry = (entries if entries.ndim == 0
+                       else entries[start:start + batch_size])
+        report = ganns_search(graph, points, batch, params,
+                              entry=batch_entry, costs=costs)
         launch = report.launch(device, costs)
         upload = transfer.transfer_seconds(
             transfer.query_upload_bytes(len(batch), queries.shape[1]))

@@ -48,3 +48,20 @@ class SearchError(ReproError):
 
 class ConstructionError(ReproError):
     """A graph-construction invocation failed or was misconfigured."""
+
+
+class ServeError(ReproError):
+    """The query-serving engine was misused or misconfigured.
+
+    Examples: a replay trace whose arrival times are not sorted, or a
+    request whose query dimensionality does not match the served index.
+    """
+
+
+class OverloadError(ServeError):
+    """A request was rejected by admission control.
+
+    The serving engine bounds its queue; when the backlog (waiting plus
+    in-flight requests) reaches the bound, new requests are rejected
+    explicitly instead of growing latency without limit.
+    """

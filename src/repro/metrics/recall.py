@@ -19,10 +19,17 @@ def recall_per_query(returned: np.ndarray, ground_truth: np.ndarray) -> np.ndarr
     Args:
         returned: ``(n_queries, k)`` int array of returned ids.  Entries of
             ``-1`` denote padding (fewer than ``k`` results) and never match.
+            ``k`` may differ from the ground-truth width: extra returned
+            columns can only add hits, never change the denominator.
         ground_truth: ``(n_queries, k)`` int array of exact neighbor ids.
+            ``-1`` entries denote padding (fewer than ``k`` true neighbors
+            exist) and are excluded from the denominator, so recall stays
+            in ``[0, 1]`` even on padded rows.  Duplicate ids in either
+            array are counted once.
 
     Returns:
-        ``(n_queries,)`` float array of recall values in ``[0, 1]``.
+        ``(n_queries,)`` float array of recall values in ``[0, 1]``.  A
+        row whose ground truth is entirely padding has recall ``0.0``.
     """
     returned = np.asarray(returned)
     ground_truth = np.asarray(ground_truth)
@@ -36,15 +43,18 @@ def recall_per_query(returned: np.ndarray, ground_truth: np.ndarray) -> np.ndarr
             f"query counts differ: {returned.shape[0]} returned vs "
             f"{ground_truth.shape[0]} ground truth"
         )
-    k = ground_truth.shape[1]
-    if k == 0:
+    if ground_truth.shape[1] == 0:
         raise ConfigurationError("ground truth must contain at least 1 neighbor")
-    hits = np.zeros(returned.shape[0], dtype=np.float64)
+    recall = np.zeros(returned.shape[0], dtype=np.float64)
     for i in range(returned.shape[0]):
         row = returned[i]
         row = row[row >= 0]
-        hits[i] = np.intersect1d(row, ground_truth[i]).size
-    return hits / k
+        truth = ground_truth[i]
+        truth = np.unique(truth[truth >= 0])
+        if truth.size == 0:
+            continue
+        recall[i] = np.intersect1d(row, truth).size / truth.size
+    return recall
 
 
 def recall_at_k(returned: np.ndarray, ground_truth: np.ndarray) -> float:

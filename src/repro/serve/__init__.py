@@ -1,0 +1,42 @@
+"""Batched query-serving subsystem.
+
+Turns the paper's batch-oriented GANNS kernel into a serving layer:
+individual requests are admitted through a bounded queue, answered from
+an exact-verified LRU result cache when possible, aggregated by a
+dynamic micro-batching scheduler (flush on size or deadline), dispatched
+through the stream-overlap pipeline of :mod:`repro.core.pipeline`, and
+demultiplexed back into per-request results with queue/compute latency
+accounting.  See ``docs/serving.md`` for the design.
+"""
+
+from repro.serve.cache import CacheStats, ResultCache, quantize_query
+from repro.serve.engine import ServeEngine
+from repro.serve.report import ServeReport
+from repro.serve.request import QueryRequest, RequestOutcome, RequestStatus
+from repro.serve.scheduler import (
+    Batch,
+    BatchPolicy,
+    MicroBatchScheduler,
+    TRIGGER_DEADLINE,
+    TRIGGER_DRAIN,
+    TRIGGER_SIZE,
+)
+from repro.serve.trace import synthetic_trace
+
+__all__ = [
+    "Batch",
+    "BatchPolicy",
+    "CacheStats",
+    "MicroBatchScheduler",
+    "QueryRequest",
+    "RequestOutcome",
+    "RequestStatus",
+    "ResultCache",
+    "ServeEngine",
+    "ServeReport",
+    "TRIGGER_DEADLINE",
+    "TRIGGER_DRAIN",
+    "TRIGGER_SIZE",
+    "quantize_query",
+    "synthetic_trace",
+]

@@ -1,0 +1,203 @@
+"""Serving-run summary: latency percentiles, throughput, cache, rejects.
+
+A :class:`ServeReport` is to the serving engine what
+:class:`repro.core.results.SearchReport` is to one kernel launch — the
+single object benchmarks and the CLI print, so that no caller re-derives
+percentile or throughput rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.request import RequestOutcome, RequestStatus
+
+
+def _percentile(values: np.ndarray, q: float) -> float:
+    if len(values) == 0:
+        return float("nan")
+    return float(np.percentile(values, q, method="linear"))
+
+
+@dataclass
+class ServeReport:
+    """Outcome of replaying one query trace through the serving engine.
+
+    Attributes:
+        outcomes: Per-request records, in arrival order.
+        batch_sizes: Queries per dispatched batch, in dispatch order.
+        batch_triggers: Flush trigger per dispatched batch.
+        makespan_seconds: First arrival to last completion.
+        gpu_busy_seconds: Total simulated time the device spent on
+            dispatched batches.
+        cache_stats: The result cache's counters (``None`` when serving
+            ran without a cache).
+    """
+
+    outcomes: List[RequestOutcome]
+    batch_sizes: List[int] = field(default_factory=list)
+    batch_triggers: List[str] = field(default_factory=list)
+    makespan_seconds: float = 0.0
+    gpu_busy_seconds: float = 0.0
+    cache_stats: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # Populations
+    # ------------------------------------------------------------------
+
+    @property
+    def n_requests(self) -> int:
+        """All requests in the trace, whatever their fate."""
+        return len(self.outcomes)
+
+    @property
+    def n_served(self) -> int:
+        """Requests answered (batched or from cache)."""
+        return sum(1 for o in self.outcomes if o.served)
+
+    @property
+    def n_cache_hits(self) -> int:
+        """Requests answered entirely from the result cache."""
+        return sum(1 for o in self.outcomes
+                   if o.status is RequestStatus.CACHE_HIT)
+
+    @property
+    def n_rejected(self) -> int:
+        """Requests refused by admission control."""
+        return sum(1 for o in self.outcomes
+                   if o.status is RequestStatus.REJECTED)
+
+    @property
+    def n_batches(self) -> int:
+        """Batches dispatched to the device."""
+        return len(self.batch_sizes)
+
+    @property
+    def served_queries(self) -> int:
+        """Query vectors answered across served requests."""
+        return sum(o.ids.shape[0] for o in self.outcomes if o.served)
+
+    # ------------------------------------------------------------------
+    # Latency / throughput
+    # ------------------------------------------------------------------
+
+    def latencies(self) -> np.ndarray:
+        """End-to-end latency of every *served* request, arrival order."""
+        return np.array([o.latency_seconds for o in self.outcomes
+                         if o.served], dtype=np.float64)
+
+    def queue_seconds(self) -> np.ndarray:
+        """Queue-wait component of every served request's latency."""
+        return np.array([o.queue_seconds for o in self.outcomes
+                         if o.served], dtype=np.float64)
+
+    @property
+    def p50_latency(self) -> float:
+        """Median served latency (seconds)."""
+        return _percentile(self.latencies(), 50)
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile served latency (seconds)."""
+        return _percentile(self.latencies(), 95)
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile served latency (seconds)."""
+        return _percentile(self.latencies(), 99)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean served latency (seconds)."""
+        lats = self.latencies()
+        return float(lats.mean()) if len(lats) else float("nan")
+
+    @property
+    def qps(self) -> float:
+        """Served queries per simulated second of makespan."""
+        if self.makespan_seconds <= 0:
+            return float("inf") if self.served_queries else 0.0
+        return self.served_queries / self.makespan_seconds
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average queries per dispatched batch."""
+        if not self.batch_sizes:
+            return 0.0
+        return float(np.mean(self.batch_sizes))
+
+    @property
+    def gpu_utilisation(self) -> float:
+        """Fraction of the makespan the device was busy."""
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return min(self.gpu_busy_seconds / self.makespan_seconds, 1.0)
+
+    # ------------------------------------------------------------------
+    # Rates
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits over all non-rejected requests."""
+        served = self.n_served
+        if served == 0:
+            return 0.0
+        return self.n_cache_hits / served
+
+    @property
+    def rejection_rate(self) -> float:
+        """Rejected requests over all requests."""
+        if self.n_requests == 0:
+            return 0.0
+        return self.n_rejected / self.n_requests
+
+    def trigger_counts(self) -> Dict[str, int]:
+        """How many batches each flush trigger produced."""
+        counts: Dict[str, int] = {}
+        for trigger in self.batch_triggers:
+            counts[trigger] = counts.get(trigger, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Result access
+    # ------------------------------------------------------------------
+
+    def results(self) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+        """Demultiplexed ``request_id -> (ids, dists)`` for served requests."""
+        return {o.request_id: (o.ids, o.dists)
+                for o in self.outcomes if o.served}
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary (what ``serve-sim`` prints)."""
+        lines = [
+            f"ServeReport: {self.n_requests} requests "
+            f"({self.served_queries} queries served) over "
+            f"{self.makespan_seconds * 1e3:.1f} ms simulated",
+            f"  throughput    {self.qps:,.0f} queries/s",
+            f"  latency       p50 {self.p50_latency * 1e3:.3f} ms   "
+            f"p95 {self.p95_latency * 1e3:.3f} ms   "
+            f"p99 {self.p99_latency * 1e3:.3f} ms   "
+            f"mean {self.mean_latency * 1e3:.3f} ms",
+            f"  batches       {self.n_batches} dispatched, mean size "
+            f"{self.mean_batch_size:.1f}"
+            + (f" ({self._trigger_note()})" if self.batch_triggers else ""),
+            f"  cache         {self.n_cache_hits} hits, "
+            f"hit rate {self.cache_hit_rate:.1%}",
+            f"  rejected      {self.n_rejected} "
+            f"({self.rejection_rate:.1%})",
+            f"  gpu busy      {self.gpu_utilisation:.1%} of makespan",
+        ]
+        return "\n".join(lines)
+
+    def _trigger_note(self) -> str:
+        counts = self.trigger_counts()
+        return ", ".join(f"{n} by {trigger}"
+                         for trigger, n in sorted(counts.items()))

@@ -1,0 +1,104 @@
+"""Request and outcome records of the query-serving engine.
+
+A :class:`QueryRequest` is one client call: one or more query vectors
+that arrive together at a simulated wall-clock instant and must be
+answered together.  A :class:`RequestOutcome` is the engine's record of
+what happened to it — served from a dispatched batch, served from the
+result cache, or rejected by admission control — together with the
+latency split the serving benchmarks plot (queue wait vs compute).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ServeError
+
+
+class RequestStatus(enum.Enum):
+    """Terminal state of one request."""
+
+    SERVED = "served"
+    CACHE_HIT = "cache_hit"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True, eq=False)
+class QueryRequest:
+    """One client request entering the serving engine.
+
+    Attributes:
+        request_id: Caller-chosen identifier, unique within a trace.
+        queries: ``(m, d)`` query matrix — ``m`` is usually 1, but a
+            client may bundle a few queries into one request.
+        arrival_seconds: Simulated arrival time.
+    """
+
+    request_id: int
+    queries: np.ndarray
+    arrival_seconds: float
+
+    def __post_init__(self) -> None:
+        queries = np.asarray(self.queries)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        if queries.ndim != 2 or len(queries) == 0:
+            raise ServeError(
+                f"request {self.request_id}: queries must be a non-empty "
+                f"1-D vector or 2-D matrix, got shape "
+                f"{np.asarray(self.queries).shape}"
+            )
+        object.__setattr__(self, "queries", queries)
+        if self.arrival_seconds < 0:
+            raise ServeError(
+                f"request {self.request_id}: arrival_seconds must be "
+                f">= 0, got {self.arrival_seconds}"
+            )
+
+    @property
+    def n_queries(self) -> int:
+        """Number of query vectors bundled in this request."""
+        return len(self.queries)
+
+
+@dataclass(frozen=True, eq=False)
+class RequestOutcome:
+    """What the engine did with one request.
+
+    Attributes:
+        request_id: The request's identifier.
+        status: Served, served from cache, or rejected.
+        ids: ``(m, k)`` neighbor ids (``None`` when rejected).
+        dists: Matching distances (``None`` when rejected).
+        arrival_seconds: When the request arrived.
+        completion_seconds: When its results were ready (equals the
+            arrival time for cache hits and rejections).
+        queue_seconds: Time spent waiting for its batch to start.
+        compute_seconds: Time from batch start to batch completion.
+        batch_index: Index of the dispatched batch that served it, or
+            ``-1`` for cache hits and rejections.
+    """
+
+    request_id: int
+    status: RequestStatus
+    ids: Optional[np.ndarray]
+    dists: Optional[np.ndarray]
+    arrival_seconds: float
+    completion_seconds: float
+    queue_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    batch_index: int = -1
+
+    @property
+    def latency_seconds(self) -> float:
+        """End-to-end latency (0 for rejections, by construction)."""
+        return self.completion_seconds - self.arrival_seconds
+
+    @property
+    def served(self) -> bool:
+        """True unless the request was rejected."""
+        return self.status is not RequestStatus.REJECTED

@@ -52,6 +52,59 @@ class TestRecallPerQuery:
                              np.zeros((1, 0), dtype=int))
 
 
+class TestRecallEdgeCases:
+    """Degenerate shapes the serving/tuning layers can produce."""
+
+    def test_returned_wider_than_ground_truth(self):
+        """k larger than the ground-truth width: extra columns may add
+        hits but the denominator stays the truth width."""
+        returned = np.array([[3, 1, 9, 8, 2]])
+        truth = np.array([[1, 2, 3]])
+        assert recall_per_query(returned, truth)[0] == 1.0
+
+    def test_returned_narrower_than_ground_truth(self):
+        returned = np.array([[1]])
+        truth = np.array([[1, 2, 3, 4]])
+        assert recall_per_query(returned, truth)[0] == pytest.approx(0.25)
+
+    def test_duplicate_returned_ids_count_once(self):
+        """A duplicated correct id must not double-count as two hits."""
+        returned = np.array([[1, 1, 9]])
+        truth = np.array([[1, 2, 3]])
+        assert recall_per_query(returned, truth)[0] == pytest.approx(1 / 3)
+
+    def test_duplicate_ground_truth_ids_count_once(self):
+        """Duplicate truth entries shrink the denominator to the unique
+        count, so a fully correct answer still scores 1.0."""
+        returned = np.array([[1, 2, 9]])
+        truth = np.array([[1, 2, 2]])
+        assert recall_per_query(returned, truth)[0] == 1.0
+
+    def test_empty_result_row_scores_zero(self):
+        returned = np.array([[-1, -1, -1]])
+        truth = np.array([[1, 2, 3]])
+        assert recall_per_query(returned, truth)[0] == 0.0
+
+    def test_ground_truth_padding_excluded_from_denominator(self):
+        """A dataset with fewer than k points pads its ground truth with
+        -1; recall of a perfect answer must still reach 1.0."""
+        returned = np.array([[4, 7, -1]])
+        truth = np.array([[4, 7, -1]])
+        assert recall_per_query(returned, truth)[0] == 1.0
+
+    def test_fully_padded_ground_truth_row_scores_zero(self):
+        returned = np.array([[1, 2], [3, 4]])
+        truth = np.array([[1, 2], [-1, -1]])
+        assert np.allclose(recall_per_query(returned, truth), [1.0, 0.0])
+
+    def test_recall_bounded_even_with_padding_and_duplicates(self):
+        rng = np.random.default_rng(3)
+        returned = rng.integers(-1, 10, size=(50, 6))
+        truth = rng.integers(-1, 10, size=(50, 4))
+        values = recall_per_query(returned, truth)
+        assert (values >= 0.0).all() and (values <= 1.0).all()
+
+
 class TestRecallAtK:
     def test_mean_over_queries(self):
         returned = np.array([[1, 2], [5, 6]])

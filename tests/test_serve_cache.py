@@ -1,0 +1,132 @@
+"""Tests for the LRU result cache: keys, eviction, exactness guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import SearchParams
+from repro.errors import ConfigurationError
+from repro.serve.cache import ResultCache, quantize_query
+
+SIG = SearchParams(k=5, l_n=32).signature()
+
+
+def _entry(seed, d=8, k=5):
+    rng = np.random.default_rng(seed)
+    return (rng.normal(size=d), rng.integers(0, 100, size=k),
+            rng.random(size=k))
+
+
+class TestQuantizeQuery:
+    def test_same_vector_same_key(self):
+        q = np.array([0.1234567, -2.5])
+        assert quantize_query(q) == quantize_query(q.copy())
+
+    def test_collapses_sub_step_noise(self):
+        a = np.array([0.12345678])
+        b = np.array([0.12345681])
+        assert quantize_query(a, decimals=6) == quantize_query(b, decimals=6)
+
+    def test_distinguishes_above_step(self):
+        a = np.array([0.1234])
+        b = np.array([0.1244])
+        assert quantize_query(a, decimals=3) != quantize_query(b, decimals=3)
+
+    def test_negative_zero_normalised(self):
+        assert quantize_query(np.array([-0.0])) == \
+            quantize_query(np.array([0.0]))
+
+    def test_float32_and_float64_of_same_value_share_key(self):
+        a = np.array([0.5, 0.25], dtype=np.float32)
+        b = np.array([0.5, 0.25], dtype=np.float64)
+        assert quantize_query(a) == quantize_query(b)
+
+
+class TestResultCacheBasics:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        q, ids, dists = _entry(0)
+        assert cache.get(q, SIG) is None
+        cache.put(q, SIG, ids, dists)
+        found = cache.get(q, SIG)
+        assert found is not None
+        assert np.array_equal(found[0], ids)
+        assert np.array_equal(found[1], dists)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_different_params_signature_misses(self):
+        cache = ResultCache(capacity=4)
+        q, ids, dists = _entry(1)
+        cache.put(q, SIG, ids, dists)
+        other = SearchParams(k=5, l_n=64).signature()
+        assert cache.get(q, other) is None
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        q, ids, dists = _entry(2)
+        cache.put(q, SIG, ids, dists)
+        assert len(cache) == 0
+        assert cache.get(q, SIG) is None
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            ResultCache(capacity=-1)
+
+    def test_put_copies_results(self):
+        """Mutating the caller's arrays must not corrupt cached entries."""
+        cache = ResultCache(capacity=4)
+        q, ids, dists = _entry(3)
+        cache.put(q, SIG, ids, dists)
+        ids[:] = -7
+        found = cache.get(q, SIG)
+        assert not np.array_equal(found[0], ids)
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(capacity=4)
+        q, ids, dists = _entry(4)
+        cache.put(q, SIG, ids, dists)
+        cache.get(q, SIG)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+
+class TestLruEviction:
+    def test_evicts_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        (qa, ia, da), (qb, ib, db), (qc, ic, dc) = (
+            _entry(10), _entry(11), _entry(12))
+        cache.put(qa, SIG, ia, da)
+        cache.put(qb, SIG, ib, db)
+        cache.get(qa, SIG)            # refresh A; B is now LRU
+        cache.put(qc, SIG, ic, dc)    # evicts B
+        assert cache.get(qa, SIG) is not None
+        assert cache.get(qb, SIG) is None
+        assert cache.get(qc, SIG) is not None
+        assert cache.stats.evictions == 1
+
+    def test_reinserting_same_key_does_not_grow(self):
+        cache = ResultCache(capacity=2)
+        q, ids, dists = _entry(13)
+        cache.put(q, SIG, ids, dists)
+        cache.put(q, SIG, ids, dists)
+        assert len(cache) == 1
+        assert cache.stats.evictions == 0
+
+
+class TestCollisionSafety:
+    def test_bucket_collision_is_never_served(self):
+        """Two distinct vectors in one quantization bucket: the second
+        lookup must miss (and count a collision), never return the first
+        vector's neighbors."""
+        cache = ResultCache(capacity=4, decimals=1)
+        a = np.array([0.50001])
+        b = np.array([0.50002])  # same bucket at 1 decimal
+        assert quantize_query(a, 1) == quantize_query(b, 1)
+        _, ids, dists = _entry(20, d=1)
+        cache.put(a, SIG, ids, dists)
+        assert cache.get(b, SIG) is None
+        assert cache.stats.collisions == 1
+        # The exact original still hits.
+        assert cache.get(a, SIG) is not None

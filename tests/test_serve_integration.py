@@ -1,0 +1,106 @@
+"""End-to-end serving integration: the acceptance-criterion test.
+
+Replays a >= 10k-query synthetic trace through the full serving stack
+(admission -> cache -> micro-batching -> stream dispatch -> demux) and
+verifies the demultiplexed per-request results are byte-identical to a
+single direct :func:`ganns_search` over the same queries — batching,
+caching and scheduling must be pure plumbing, never answer-changing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.ganns import ganns_search
+from repro.core.params import SearchParams
+from repro.datasets.synthetic import gaussian_mixture
+from repro.serve import (
+    BatchPolicy,
+    ResultCache,
+    ServeEngine,
+    synthetic_trace,
+)
+
+N_REQUESTS = 10_000
+
+
+@pytest.fixture(scope="module")
+def query_pool():
+    """2000 distinct queries from the test-fixture distribution."""
+    return gaussian_mixture(2000, 24, n_clusters=8, cluster_std=0.3,
+                            intrinsic_dim=8, seed=11)
+
+
+class TestTenThousandQueryReplay:
+    def test_replay_matches_direct_search_exactly(
+            self, small_graph, small_points, query_pool):
+        params = SearchParams(k=5, l_n=32)
+        engine = ServeEngine(
+            small_graph, small_points, params,
+            policy=BatchPolicy(max_batch=512, max_wait_seconds=2e-3,
+                               max_queue=16_384),
+            cache=ResultCache(capacity=4096))
+        trace = synthetic_trace(query_pool, N_REQUESTS,
+                                mean_qps=100_000.0, repeat_fraction=0.3,
+                                seed=5)
+        report = engine.replay(trace)
+
+        assert report.n_requests == N_REQUESTS
+        assert report.n_rejected == 0
+        assert report.served_queries >= 10_000
+
+        flat_queries = np.concatenate([r.queries for r in trace], axis=0)
+        direct = ganns_search(small_graph, small_points, flat_queries,
+                              params)
+        offset = 0
+        for req in trace:
+            outcome = report.outcomes[req.request_id]
+            n = req.n_queries
+            assert np.array_equal(outcome.ids,
+                                  direct.ids[offset:offset + n]), \
+                f"request {req.request_id} ids diverge"
+            assert np.array_equal(outcome.dists,
+                                  direct.dists[offset:offset + n]), \
+                f"request {req.request_id} dists diverge"
+            offset += n
+
+        # The repeating trace must actually exercise the cache, and
+        # cache hits plus dispatched queries must account for every one.
+        assert report.n_cache_hits > 0
+        assert sum(report.batch_sizes) + report.n_cache_hits \
+            == N_REQUESTS
+        # Sanity on the summary statistics the CLI prints.
+        assert np.isfinite(report.p50_latency)
+        assert report.p50_latency <= report.p95_latency \
+            <= report.p99_latency
+        assert report.qps > 0
+
+
+class TestServeSimCli:
+    def test_serve_sim_smoke(self, capsys):
+        code = main(["serve-sim", "sift1m", "--points", "600",
+                     "--queries", "80", "--requests", "1500",
+                     "--qps", "100000", "--max-batch", "128",
+                     "--max-wait-ms", "0.5", "-k", "5", "--l-n", "32",
+                     "--d-min", "6", "--d-max", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ServeReport: 1500 requests" in out
+        assert "throughput" in out
+        assert "p95" in out
+        assert "cache" in out
+
+    def test_serve_sim_cache_disabled(self, capsys):
+        code = main(["serve-sim", "sift1m", "--points", "500",
+                     "--queries", "50", "--requests", "400",
+                     "--qps", "50000", "--cache-size", "0",
+                     "-k", "5", "--l-n", "32",
+                     "--d-min", "6", "--d-max", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit rate 0.0%" in out
+
+    def test_parser_defaults_meet_acceptance_floor(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["serve-sim"])
+        assert args.requests >= 10_000

@@ -124,3 +124,77 @@ class TestPadProperties:
         (padded,) = pad_pow2(keys)
         assert len(padded) == next_pow2(n)
         assert np.isinf(padded[n:]).all()
+
+
+class TestNumpyEquivalenceAcrossDtypesAndShapes:
+    """The network must equal ``np.sort`` for every buffer a kernel
+    would actually hold: any dtype, any row batch, any non-power-of-two
+    length after padding."""
+
+    @given(st.sampled_from(["float64", "float32", "int64", "int32"]),
+           st.integers(min_value=0, max_value=6),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_sort_matches_np_sort_per_dtype(self, dtype, log_n, seed):
+        n = 1 << log_n
+        rng = np.random.default_rng(seed)
+        if dtype.startswith("float"):
+            keys = rng.normal(size=n).astype(dtype)
+        else:
+            keys = rng.integers(-1000, 1000, size=n).astype(dtype)
+        (out,) = bitonic_sort_network(keys)
+        assert out.dtype == np.dtype(dtype)
+        assert np.array_equal(out, np.sort(keys))
+
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_sort_matches_np_sort_on_random_row_batches(
+            self, log_n, n_rows, seed):
+        """Batched rows (one per simulated thread block) sort exactly
+        like a per-row np.sort, whatever the (rows, length) shape."""
+        n = 1 << log_n
+        rng = np.random.default_rng(seed)
+        keys = rng.normal(size=(n_rows, n))
+        (out,) = bitonic_sort_network(keys)
+        assert np.array_equal(out, np.sort(keys, axis=1))
+
+    @given(st.integers(min_value=1, max_value=70),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_non_pow2_lengths_via_padding(self, n, seed):
+        """Any length: pad with +inf as the GPU buffer would be, sort,
+        truncate — identical to np.sort of the raw values."""
+        rng = np.random.default_rng(seed)
+        keys = rng.normal(size=n)
+        padded, = pad_pow2(keys)
+        (out,) = bitonic_sort_network(padded)
+        assert np.array_equal(out[:n], np.sort(keys))
+        assert np.isinf(out[n:]).all()
+
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=1, max_value=40),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_non_pow2_runs_via_padding(self, la, lb, seed):
+        """Two sorted runs of arbitrary (non-pow2) lengths, each padded
+        to a common power of two, bitonic-merge to np.sort of the
+        concatenation."""
+        rng = np.random.default_rng(seed)
+        a = np.sort(rng.normal(size=la))
+        b = np.sort(rng.normal(size=lb))
+        width = next_pow2(max(la, lb))
+        a_pad = np.concatenate([a, np.full(width - la, np.inf)])
+        b_pad = np.concatenate([b, np.full(width - lb, np.inf)])
+        (merged,) = bitonic_merge_network(np.concatenate([a_pad, b_pad]))
+        expected = np.sort(np.concatenate([a, b]))
+        assert np.array_equal(merged[:la + lb], expected)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_sort_handles_inf_and_duplicate_values(self, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.choice([0.0, 1.0, np.inf, -np.inf, 2.5], size=16)
+        (out,) = bitonic_sort_network(keys)
+        assert np.array_equal(out, np.sort(keys))
