@@ -1,0 +1,119 @@
+"""CI gate for the chaos smoke: faults fired, nothing silently wrong.
+
+Usage::
+
+    python -m repro chaos-sim ... --fault-seed 0 | tee chaos-sim.out
+    python scripts/check_chaos_smoke.py chaos-sim.out
+
+Two checks:
+
+1. The captured ``chaos-sim`` output reports a *nonzero* number of
+   delivered faults — a smoke run where no fault armed exercises
+   nothing.
+2. An in-process replay of the same seeded scenario confirms zero
+   silently-wrong answers: every served request's results are
+   byte-identical to a direct ``ganns_search`` at the tier the request
+   was served at (full-quality requests at tier 0, degraded requests at
+   their recorded tier).
+
+Exit code 0 when both hold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+import numpy as np
+
+
+def check_output_file(path: str) -> int:
+    """Parse the FaultReport line and return the delivered-fault count."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    match = re.search(r"FaultReport: (\d+)/(\d+) scheduled faults "
+                      r"delivered", text)
+    if match is None:
+        raise SystemExit(
+            f"{path}: no FaultReport line found — did chaos-sim run?")
+    delivered = int(match.group(1))
+    if "report digest" not in text:
+        raise SystemExit(f"{path}: no report digest line found")
+    return delivered
+
+
+def check_no_silent_wrong_answers() -> tuple:
+    """Replay a seeded chaos scenario; count served-answer mismatches."""
+    from repro.baselines.nsw_cpu import build_nsw_cpu
+    from repro.core.ganns import ganns_search
+    from repro.core.params import SearchParams
+    from repro.datasets.catalog import load_dataset
+    from repro.faults import AdmissionGovernor, named_fault_plan
+    from repro.serve import (BatchPolicy, ResultCache, ServeEngine,
+                             synthetic_trace)
+
+    n_requests, mean_qps = 2000, 200_000.0
+    dataset = load_dataset("sift1m", n_points=1000, n_queries=200)
+    graph = build_nsw_cpu(dataset.points, d_min=8, d_max=16).graph
+    params = SearchParams(k=10, l_n=64)
+    governor = AdmissionGovernor.default_for(params)
+    plan = named_fault_plan(
+        "aggressive", horizon_seconds=2.0 * n_requests / mean_qps,
+        seed=0)
+    engine = ServeEngine(
+        graph, dataset.points, params,
+        policy=BatchPolicy(max_batch=128, max_wait_seconds=5e-4,
+                           max_queue=1024),
+        cache=ResultCache(capacity=1024),
+        faults=plan, governor=governor,
+        default_deadline_seconds=20e-3)
+    trace = synthetic_trace(dataset.queries, n_requests,
+                            mean_qps=mean_qps, seed=0)
+    report = engine.replay(trace)
+
+    pool = dataset.queries
+    pool_row = {pool[i].tobytes(): i for i in range(len(pool))}
+    direct = {tier: ganns_search(graph, dataset.points, pool,
+                                 governor.params_for(tier, params))
+              for tier in range(governor.n_tiers)}
+    wrong = 0
+    for req in trace:
+        outcome = report.outcomes[req.request_id]
+        if not outcome.served:
+            continue
+        row = pool_row[req.queries[0].tobytes()]
+        ref = direct[outcome.degraded_tier]
+        if not (np.array_equal(outcome.ids[0], ref.ids[row])
+                and np.array_equal(outcome.dists[0], ref.dists[row])):
+            wrong += 1
+    return wrong, report
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    delivered = check_output_file(argv[1])
+    print(f"chaos-sim output: {delivered} faults delivered")
+    if delivered == 0:
+        print("FAIL: the smoke run delivered zero faults",
+              file=sys.stderr)
+        return 1
+    wrong, report = check_no_silent_wrong_answers()
+    print(f"replay: {report.n_served} served "
+          f"({report.n_degraded} degraded), {report.n_failed} failed, "
+          f"{report.fault_report.n_injected} faults injected, "
+          f"{wrong} silently-wrong answers")
+    if report.fault_report.n_injected == 0:
+        print("FAIL: the replay injected zero faults", file=sys.stderr)
+        return 1
+    if wrong:
+        print(f"FAIL: {wrong} served answers diverge from direct "
+              f"search at their tier", file=sys.stderr)
+        return 1
+    print("chaos smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

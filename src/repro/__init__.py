@@ -36,6 +36,10 @@ from repro.errors import (
     ConstructionError,
     ServeError,
     OverloadError,
+    FaultError,
+    KernelTimeoutError,
+    MemoryFaultError,
+    DeviceMemoryError,
 )
 from repro.core import (
     GannsIndex,
@@ -71,6 +75,16 @@ from repro.serve import (
     ServeReport,
     synthetic_trace,
 )
+from repro.faults import (
+    AdmissionGovernor,
+    BreakerPolicy,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultReport,
+    RetryPolicy,
+    named_fault_plan,
+)
 
 __all__ = [
     "__version__",
@@ -83,6 +97,10 @@ __all__ = [
     "ConstructionError",
     "ServeError",
     "OverloadError",
+    "FaultError",
+    "KernelTimeoutError",
+    "MemoryFaultError",
+    "DeviceMemoryError",
     "GannsIndex",
     "tune_search",
     "stream_batches",
@@ -116,4 +134,12 @@ __all__ = [
     "ServeEngine",
     "ServeReport",
     "synthetic_trace",
+    "AdmissionGovernor",
+    "BreakerPolicy",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "RetryPolicy",
+    "named_fault_plan",
 ]

@@ -12,6 +12,12 @@ Commands:
 - ``device``   — show the simulated device and cost-table calibration.
 - ``serve-sim`` — replay a synthetic online query trace through the
   batched serving engine and print its ``ServeReport``.
+- ``chaos-sim`` — replay a trace under a named fault plan with the
+  full fault-tolerance stack (deadlines, retries, circuit breaker,
+  graceful degradation) and print the merged serve/fault report.
+
+Any :class:`repro.errors.ReproError` a command raises is reported as a
+one-line message on stderr with exit code 2 — never a traceback.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import sys
 from typing import List, Optional
 
 from repro._version import __version__
+from repro.errors import ReproError
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -139,12 +146,13 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve_sim(args: argparse.Namespace) -> int:
+def _serve_fixture(args: argparse.Namespace):
+    """Dataset, graph, params, policy, cache, trace shared by the
+    serving commands."""
     from repro.baselines.nsw_cpu import build_nsw_cpu
     from repro.core.params import SearchParams
     from repro.datasets.catalog import load_dataset
-    from repro.serve import (BatchPolicy, ResultCache, ServeEngine,
-                             synthetic_trace)
+    from repro.serve import BatchPolicy, ResultCache, synthetic_trace
 
     dataset = load_dataset(args.dataset, n_points=args.points,
                            n_queries=args.queries)
@@ -156,8 +164,6 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                          max_queue=args.queue_cap)
     cache = (ResultCache(capacity=args.cache_size)
              if args.cache_size > 0 else None)
-    engine = ServeEngine(graph, dataset.points, params, policy=policy,
-                         cache=cache)
     trace = synthetic_trace(dataset.queries, args.requests,
                             mean_qps=args.qps,
                             repeat_fraction=args.repeat_fraction,
@@ -169,8 +175,55 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
           f"max_wait={args.max_wait_ms:g} ms, "
           f"queue_cap={policy.max_queue}, "
           f"cache={args.cache_size}")
+    return dataset, graph, params, policy, cache, trace
+
+
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from repro.serve import ServeEngine
+
+    dataset, graph, params, policy, cache, trace = _serve_fixture(args)
+    engine = ServeEngine(graph, dataset.points, params, policy=policy,
+                         cache=cache)
     report = engine.replay(trace)
     print(report.summary())
+    return 0
+
+
+def _cmd_chaos_sim(args: argparse.Namespace) -> int:
+    from repro.faults import (AdmissionGovernor, BreakerPolicy,
+                              RetryPolicy, named_fault_plan)
+    from repro.serve import ServeEngine
+
+    dataset, graph, params, policy, cache, trace = _serve_fixture(args)
+    # Cover the whole trace (plus quiescence tail) with the plan.
+    horizon = 2.0 * args.requests / args.qps
+    plan = named_fault_plan(args.fault_plan, horizon_seconds=horizon,
+                            seed=args.fault_seed)
+    governor = (None if args.no_governor
+                else AdmissionGovernor.default_for(params))
+    engine = ServeEngine(
+        graph, dataset.points, params, policy=policy, cache=cache,
+        faults=plan,
+        retry=RetryPolicy(max_retries=args.retries,
+                          base_seconds=args.backoff_ms * 1e-3,
+                          cap_seconds=args.backoff_cap_ms * 1e-3),
+        breaker=BreakerPolicy(
+            failure_threshold=args.breaker_threshold,
+            cooldown_seconds=args.breaker_cooldown_ms * 1e-3),
+        governor=governor,
+        default_deadline_seconds=(args.deadline_ms * 1e-3
+                                  if args.deadline_ms > 0 else None))
+    print(f"  chaos: plan={args.fault_plan} "
+          f"({len(plan)} scheduled events, seed={args.fault_seed}), "
+          f"retries={args.retries}, "
+          f"breaker={args.breaker_threshold}x/"
+          f"{args.breaker_cooldown_ms:g} ms, "
+          f"governor={'off' if args.no_governor else 'on'}, "
+          f"deadline={args.deadline_ms:g} ms")
+    report = engine.replay(trace)
+    print(report.summary())
+    print(f"  report digest {report.digest()[:16]} "
+          f"(replay-deterministic)")
     return 0
 
 
@@ -248,39 +301,80 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("device", help="show the simulated device")
 
+    def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("dataset", nargs="?", default="sift1m",
+                            help="Table I stand-in name (default sift1m)")
+        parser.add_argument("--points", type=int, default=2000,
+                            help="stand-in size (default 2000)")
+        parser.add_argument("--queries", type=int, default=500,
+                            help="distinct query pool size (default 500)")
+        parser.add_argument("--requests", type=int, default=10_000,
+                            help="trace length (default 10000)")
+        parser.add_argument("--qps", type=float, default=50_000.0,
+                            help="mean arrival rate, requests/s "
+                                 "(default 50k)")
+        parser.add_argument("--repeat-fraction", type=float, default=0.3,
+                            help="share of hot-set repeats (default 0.3)")
+        parser.add_argument("--max-batch", type=int, default=256)
+        parser.add_argument("--max-wait-ms", type=float, default=1.0,
+                            help="batching window in ms (default 1.0)")
+        parser.add_argument("--queue-cap", type=int, default=8192,
+                            help="admission bound in queries "
+                                 "(default 8192)")
+        parser.add_argument("--cache-size", type=int, default=4096,
+                            help="result cache entries; 0 disables")
+        parser.add_argument("-k", type=int, default=10)
+        parser.add_argument("--l-n", type=int, default=64, dest="l_n")
+        parser.add_argument("-e", type=int, default=None)
+        parser.add_argument("--d-min", type=int, default=8)
+        parser.add_argument("--d-max", type=int, default=16)
+        parser.add_argument("--seed", type=int, default=0)
+
     serve = sub.add_parser(
         "serve-sim",
         help="replay an online query trace through the serving engine")
-    serve.add_argument("dataset", nargs="?", default="sift1m",
-                       help="Table I stand-in name (default sift1m)")
-    serve.add_argument("--points", type=int, default=2000,
-                       help="stand-in size (default 2000)")
-    serve.add_argument("--queries", type=int, default=500,
-                       help="distinct query pool size (default 500)")
-    serve.add_argument("--requests", type=int, default=10_000,
-                       help="trace length (default 10000)")
-    serve.add_argument("--qps", type=float, default=50_000.0,
-                       help="mean arrival rate, requests/s (default 50k)")
-    serve.add_argument("--repeat-fraction", type=float, default=0.3,
-                       help="share of hot-set repeats (default 0.3)")
-    serve.add_argument("--max-batch", type=int, default=256)
-    serve.add_argument("--max-wait-ms", type=float, default=1.0,
-                       help="batching window in ms (default 1.0)")
-    serve.add_argument("--queue-cap", type=int, default=8192,
-                       help="admission bound in queries (default 8192)")
-    serve.add_argument("--cache-size", type=int, default=4096,
-                       help="result cache entries; 0 disables")
-    serve.add_argument("-k", type=int, default=10)
-    serve.add_argument("--l-n", type=int, default=64, dest="l_n")
-    serve.add_argument("-e", type=int, default=None)
-    serve.add_argument("--d-min", type=int, default=8)
-    serve.add_argument("--d-max", type=int, default=16)
-    serve.add_argument("--seed", type=int, default=0)
+    _add_serving_arguments(serve)
+
+    from repro.faults.plan import fault_plan_names
+
+    chaos = sub.add_parser(
+        "chaos-sim",
+        help="replay a trace under an injected fault plan with the "
+             "fault-tolerance stack engaged")
+    _add_serving_arguments(chaos)
+    chaos.add_argument("--fault-plan", choices=fault_plan_names(),
+                       default="aggressive",
+                       help="named chaos recipe (default aggressive)")
+    chaos.add_argument("--fault-seed", type=int, default=0,
+                       help="fault plan seed (default 0)")
+    chaos.add_argument("--retries", type=int, default=2,
+                       help="retry attempts per failed dispatch "
+                            "(default 2)")
+    chaos.add_argument("--backoff-ms", type=float, default=0.2,
+                       help="base retry backoff in ms (default 0.2)")
+    chaos.add_argument("--backoff-cap-ms", type=float, default=2.0,
+                       help="retry backoff cap in ms (default 2.0)")
+    chaos.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive failures tripping the breaker "
+                            "(default 3)")
+    chaos.add_argument("--breaker-cooldown-ms", type=float, default=2.0,
+                       help="breaker open time in ms (default 2.0)")
+    chaos.add_argument("--deadline-ms", type=float, default=20.0,
+                       help="per-request deadline in ms; 0 disables "
+                            "(default 20)")
+    chaos.add_argument("--no-governor", action="store_true",
+                       help="disable graceful degradation (reject-only "
+                            "baseline)")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors (:class:`repro.errors.ReproError`) are reported as a
+    single line on stderr with exit code 2 — a misconfigured run should
+    read like a usage problem, not a crash.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
@@ -291,8 +385,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tune": _cmd_tune,
         "device": _cmd_device,
         "serve-sim": _cmd_serve_sim,
+        "chaos-sim": _cmd_chaos_sim,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as err:
+        print(f"repro {args.command}: error: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

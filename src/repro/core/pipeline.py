@@ -16,7 +16,7 @@ realistic ANN workload, the paper's point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Union
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
@@ -74,7 +74,10 @@ def stream_batches(graph: ProximityGraph, points: np.ndarray,
                    batch_size: int = 2000,
                    device: DeviceSpec = QUADRO_P5000,
                    costs: CostTable = DEFAULT_COSTS,
-                   entry: Union[int, np.ndarray] = 0) -> StreamResult:
+                   entry: Union[int, np.ndarray] = 0,
+                   fault_hook: Optional[
+                       Callable[[int, BatchTiming], BatchTiming]
+                   ] = None) -> StreamResult:
     """Search a query stream in batches with simulated stream overlap.
 
     Args:
@@ -87,6 +90,12 @@ def stream_batches(graph: ProximityGraph, points: np.ndarray,
         costs: Cycle cost table.
         entry: Start vertex, or a per-query ``(m,)`` id array; sliced
             along with the queries when per-query entries are given.
+        fault_hook: Fault-injection point (:mod:`repro.faults`): called
+            per batch with ``(batch_index, timing)`` once the batch's
+            fault-free timing is known; may return an adjusted timing
+            (e.g. a stalled kernel) or raise a
+            :class:`repro.errors.FaultError` to kill the whole stream
+            dispatch, discarding its results.
 
     Returns:
         A :class:`StreamResult` with both serial and overlapped timings.
@@ -128,10 +137,13 @@ def stream_batches(graph: ProximityGraph, points: np.ndarray,
         download = transfer.transfer_seconds(
             transfer.result_download_bytes(len(batch), params.k))
         reports.append(report)
-        timings.append(BatchTiming(n_queries=len(batch),
-                                   upload_seconds=upload,
-                                   compute_seconds=launch.seconds,
-                                   download_seconds=download))
+        timing = BatchTiming(n_queries=len(batch),
+                             upload_seconds=upload,
+                             compute_seconds=launch.seconds,
+                             download_seconds=download)
+        if fault_hook is not None:
+            timing = fault_hook(len(timings), timing)
+        timings.append(timing)
         ids_parts.append(report.ids)
         dists_parts.append(report.dists)
 

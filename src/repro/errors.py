@@ -65,3 +65,51 @@ class OverloadError(ServeError):
     in-flight requests) reaches the bound, new requests are rejected
     explicitly instead of growing latency without limit.
     """
+
+
+class FaultError(ReproError):
+    """An injected (simulated) hardware or infrastructure fault fired.
+
+    Raised by the fault-injection layer (:mod:`repro.faults`) inside the
+    dispatch path.  Carries the simulated time the failed attempt
+    consumed on each device engine before dying, so the serving engine
+    can charge the wasted work to its clock.
+
+    Attributes:
+        kind: Fault taxonomy name (one of the ``FAULT_*`` constants in
+            :mod:`repro.faults.plan`).
+        upload_seconds: Upload-engine time consumed by the failed attempt.
+        compute_seconds: Compute-engine time consumed by the failed attempt.
+    """
+
+    def __init__(self, message: str, kind: str = "fault",
+                 upload_seconds: float = 0.0,
+                 compute_seconds: float = 0.0):
+        super().__init__(message)
+        self.kind = kind
+        self.upload_seconds = float(upload_seconds)
+        self.compute_seconds = float(compute_seconds)
+
+
+class KernelTimeoutError(FaultError):
+    """The simulated driver killed a kernel that exceeded its watchdog.
+
+    The attempt consumed the full watchdog interval on the compute
+    engine before being killed; no results were produced.
+    """
+
+
+class MemoryFaultError(FaultError):
+    """An uncorrectable (simulated) ECC error hit a distance buffer.
+
+    The kernel ran to completion, so its whole compute time is wasted,
+    but the corruption is *detected* — the result buffer is discarded
+    and never served, preserving the no-silent-wrong-answers guarantee.
+    """
+
+
+class DeviceMemoryError(FaultError):
+    """Device memory exhaustion: a batch's buffers could not be allocated.
+
+    Fails before any compute; only the attempted upload is charged.
+    """

@@ -23,7 +23,7 @@ practitioner sizing such a cluster would need to see.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -32,6 +32,11 @@ from repro.core.params import BuildParams
 from repro.core.results import ConstructionReport
 from repro.errors import ConstructionError
 from repro.extensions.multicore import build_nsw_multicore
+from repro.faults.plan import (
+    FAULT_NETWORK_PARTITION,
+    FAULT_WORKER_LOSS,
+    FaultPlan,
+)
 
 
 @dataclass(frozen=True)
@@ -87,13 +92,23 @@ def build_nsw_distributed(points: np.ndarray, params: BuildParams,
                           metric: str = "euclidean",
                           network: NetworkModel = NetworkModel(),
                           cpu: CpuModel = DEFAULT_CPU,
-                          exact: bool = False) -> ConstructionReport:
+                          exact: bool = False,
+                          fault_plan: Optional[FaultPlan] = None
+                          ) -> ConstructionReport:
     """Build an NSW graph with GGraphCon across cluster workers.
 
     The compute schedule reuses the multicore engine with
     ``n_workers * cores_per_worker`` cores (work placement is identical);
     this function adds the per-round communication costs on top and
     reports them separately.
+
+    With a ``fault_plan``, the cluster also survives injected
+    infrastructure faults: a ``worker_loss`` event reassigns the dead
+    worker's shard to a survivor (charging detection, the shard
+    re-shipment, and the shard's re-execution), and a
+    ``network_partition`` event stalls merge-round communication for
+    its duration.  The resulting graph is byte-identical either way —
+    failover costs time, never correctness.
 
     Args:
         points: ``(n, d)`` float matrix.
@@ -104,10 +119,14 @@ def build_nsw_distributed(points: np.ndarray, params: BuildParams,
         network: Cluster network model.
         cpu: Per-core timing model.
         exact: Exact-search (theorem) mode.
+        fault_plan: Optional :class:`repro.faults.plan.FaultPlan` whose
+            cluster-scope events (worker loss, network partition) are
+            applied to the build timeline.
 
     Returns:
         A :class:`ConstructionReport` with ``phase_seconds`` split into
-        compute and communication, and per-round stats in ``details``.
+        compute, communication and failover, and per-round stats in
+        ``details``.
     """
     if n_workers <= 0 or cores_per_worker <= 0:
         raise ConstructionError(
@@ -134,9 +153,40 @@ def build_nsw_distributed(points: np.ndarray, params: BuildParams,
     shard_bytes = n * points.shape[1] * 4 / max(n_workers, 1)
     comm_seconds += network.broadcast_seconds(shard_bytes, n_workers)
 
+    # Cluster-scope fault tolerance: worker failover and partitions.
+    failover_seconds = 0.0
+    partition_seconds = 0.0
+    n_losses = 0
+    if fault_plan is not None:
+        local_seconds = compute.phase_seconds.get("local_construction",
+                                                  0.0)
+        shard_seconds = local_seconds / n_workers
+        survivors = n_workers
+        for event in fault_plan.cluster_events():
+            if event.kind == FAULT_WORKER_LOSS:
+                survivors -= 1
+                if survivors <= 0:
+                    raise ConstructionError(
+                        f"fault plan kills all {n_workers} workers; "
+                        f"no survivor can adopt the final shard"
+                    )
+                n_losses += 1
+                # Detection (missed heartbeat), shard re-shipment to a
+                # survivor, then serial re-execution of the lost shard.
+                failover_seconds += (
+                    network.transfer_seconds(0.0)
+                    + network.transfer_seconds(shard_bytes)
+                    + shard_seconds)
+            elif event.kind == FAULT_NETWORK_PARTITION:
+                # Merge rounds block until the partition heals.
+                partition_seconds += event.magnitude
+
     phase_seconds: Dict[str, float] = dict(compute.phase_seconds)
-    phase_seconds["communication"] = comm_seconds
-    total = compute.seconds + comm_seconds
+    phase_seconds["communication"] = comm_seconds + partition_seconds
+    if fault_plan is not None:
+        phase_seconds["failover"] = failover_seconds
+    total = (compute.seconds + comm_seconds + failover_seconds
+             + partition_seconds)
     return ConstructionReport(
         algorithm="ggraphcon-distributed",
         graph=compute.graph,
@@ -149,5 +199,8 @@ def build_nsw_distributed(points: np.ndarray, params: BuildParams,
             "n_rounds": float(n_rounds),
             "comm_seconds": comm_seconds,
             "compute_seconds": compute.seconds,
+            "n_worker_losses": float(n_losses),
+            "failover_seconds": failover_seconds,
+            "partition_seconds": partition_seconds,
         },
     )

@@ -1,0 +1,75 @@
+"""Deterministic fault injection and fault tolerance (`repro.faults`).
+
+The serving stack runs on a fully simulated clock, which makes a rare
+thing possible: *replayable chaos*.  A seeded, serializable
+:class:`FaultPlan` schedules faults (kernel timeouts, stalls, ECC
+bit-flips, device-memory exhaustion, worker loss, network partitions)
+on the simulated timeline; a :class:`FaultInjector` delivers them
+inside kernel dispatch; and the recovery policies —
+:class:`RetryPolicy`, :class:`CircuitBreaker`, and the gracefully
+degrading :class:`AdmissionGovernor` — decide what happens next.  Every
+event lands in a :class:`FaultReport`, and the same trace plus the same
+plan reproduce every byte of it.  See ``docs/fault_model.md``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ALL_FAULT_KINDS,
+    CLUSTER_FAULT_KINDS,
+    FAULT_ECC_BITFLIP,
+    FAULT_KERNEL_STALL,
+    FAULT_KERNEL_TIMEOUT,
+    FAULT_MEM_EXHAUSTION,
+    FAULT_NETWORK_PARTITION,
+    FAULT_WORKER_LOSS,
+    KERNEL_FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    fault_plan_names,
+    named_fault_plan,
+)
+from repro.faults.policy import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    AdmissionGovernor,
+    BreakerPolicy,
+    BreakerTransition,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from repro.faults.report import (
+    DegradationRecord,
+    FaultReport,
+    InjectionRecord,
+    RetryRecord,
+)
+
+__all__ = [
+    "ALL_FAULT_KINDS",
+    "AdmissionGovernor",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BreakerPolicy",
+    "BreakerTransition",
+    "CLUSTER_FAULT_KINDS",
+    "CircuitBreaker",
+    "DegradationRecord",
+    "FAULT_ECC_BITFLIP",
+    "FAULT_KERNEL_STALL",
+    "FAULT_KERNEL_TIMEOUT",
+    "FAULT_MEM_EXHAUSTION",
+    "FAULT_NETWORK_PARTITION",
+    "FAULT_WORKER_LOSS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "InjectionRecord",
+    "KERNEL_FAULT_KINDS",
+    "RetryPolicy",
+    "RetryRecord",
+    "fault_plan_names",
+    "named_fault_plan",
+]

@@ -1,0 +1,142 @@
+"""Delivery of scheduled faults into the kernel-dispatch path.
+
+The :class:`FaultInjector` walks a :class:`repro.faults.plan.FaultPlan`
+in schedule order and converts armed events into concrete effects at
+the point :func:`repro.core.pipeline.stream_batches` assembles a batch's
+timing: a stall stretches the compute time, a timeout/ECC/OOM raises the
+matching :class:`repro.errors.FaultError` subclass with the simulated
+seconds the doomed attempt consumed.  Consumption is strictly ordered by
+the simulated clock, so replaying the same plan against the same
+dispatch sequence delivers the same faults to the same batches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.pipeline import BatchTiming
+from repro.errors import (
+    DeviceMemoryError,
+    KernelTimeoutError,
+    MemoryFaultError,
+)
+from repro.faults.plan import (
+    FAULT_ECC_BITFLIP,
+    FAULT_KERNEL_STALL,
+    FAULT_KERNEL_TIMEOUT,
+    FAULT_MEM_EXHAUSTION,
+    FaultEvent,
+    FaultPlan,
+)
+
+
+class FaultInjector:
+    """Stateful cursor over a plan's kernel-scope events.
+
+    One injector serves one replay: each dispatch *attempt* polls the
+    injector with the attempt's simulated start time and consumes at
+    most one armed event (the earliest whose ``at_seconds`` has
+    passed).  Events that never arm before the trace ends are simply
+    not delivered — the :class:`repro.faults.report.FaultReport`
+    distinguishes scheduled from delivered counts.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._pending: List[FaultEvent] = plan.kernel_events()
+        self._cursor = 0
+        #: Jitter stream handed to the retry policy, per the plan seed.
+        self.jitter_rng: np.random.Generator = plan.rng("jitter")
+
+    @property
+    def pending(self) -> int:
+        """Kernel-scope events not yet delivered."""
+        return len(self._pending) - self._cursor
+
+    def poll(self, now: float) -> Optional[FaultEvent]:
+        """Consume the earliest event armed at or before ``now``."""
+        if self._cursor >= len(self._pending):
+            return None
+        event = self._pending[self._cursor]
+        if event.at_seconds > now:
+            return None
+        self._cursor += 1
+        return event
+
+    def apply(self, event: FaultEvent, timing: BatchTiming) -> BatchTiming:
+        """Turn one armed event into its effect on a batch attempt.
+
+        Args:
+            event: The event :meth:`poll` returned.
+            timing: The attempt's fault-free timing (what the batch
+                *would* have cost).
+
+        Returns:
+            A (possibly stretched) timing for survivable faults.
+
+        Raises:
+            KernelTimeoutError: The watchdog killed the kernel after
+                ``event.magnitude`` seconds of compute.
+            MemoryFaultError: An ECC error was detected after the full
+                compute ran; the results are discarded.
+            DeviceMemoryError: Allocation failed before compute.
+        """
+        if event.kind == FAULT_KERNEL_STALL:
+            return BatchTiming(
+                n_queries=timing.n_queries,
+                upload_seconds=timing.upload_seconds,
+                compute_seconds=timing.compute_seconds * event.magnitude,
+                download_seconds=timing.download_seconds,
+            )
+        if event.kind == FAULT_KERNEL_TIMEOUT:
+            raise KernelTimeoutError(
+                f"kernel watchdog expired after {event.magnitude:g} s "
+                f"(batch of {timing.n_queries} queries)",
+                kind=event.kind,
+                upload_seconds=timing.upload_seconds,
+                compute_seconds=event.magnitude,
+            )
+        if event.kind == FAULT_ECC_BITFLIP:
+            raise MemoryFaultError(
+                f"uncorrectable ECC error detected in distance buffer "
+                f"(batch of {timing.n_queries} queries); results "
+                f"discarded",
+                kind=event.kind,
+                upload_seconds=timing.upload_seconds,
+                compute_seconds=timing.compute_seconds,
+            )
+        if event.kind == FAULT_MEM_EXHAUSTION:
+            raise DeviceMemoryError(
+                f"device memory exhausted allocating buffers for "
+                f"{timing.n_queries} queries",
+                kind=event.kind,
+                upload_seconds=timing.upload_seconds,
+                compute_seconds=0.0,
+            )
+        raise MemoryFaultError(  # pragma: no cover - plan validates kinds
+            f"unhandled kernel fault kind {event.kind!r}", kind=event.kind)
+
+    def hook(self, now: float, sink: Optional[list] = None):
+        """A ``fault_hook`` for :func:`repro.core.pipeline.stream_batches`.
+
+        Args:
+            now: Simulated start time of the dispatch attempt (arms
+                events scheduled at or before it).
+            sink: Optional list collecting the consumed
+                :class:`FaultEvent` (also populated for survivable
+                faults, which do not raise).
+
+        Returns:
+            A callable ``(batch_index, timing) -> timing`` that injects
+            at most one fault into the attempt.
+        """
+        def _hook(_index: int, timing: BatchTiming) -> BatchTiming:
+            event = self.poll(now)
+            if event is None:
+                return timing
+            if sink is not None:
+                sink.append(event)
+            return self.apply(event, timing)
+        return _hook

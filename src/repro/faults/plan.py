@@ -1,0 +1,284 @@
+"""Seeded, serializable fault schedules on the simulated clock.
+
+A :class:`FaultPlan` is the single source of chaos for a run: a sorted
+list of :class:`FaultEvent` records (what goes wrong, and at which
+simulated instant it arms) plus one RNG seed that drives every random
+decision downstream — retry jitter, Poisson event generation, bit-flip
+positions.  Because the plan is data (round-trippable through JSON) and
+the clock is simulated, a chaos run is *replayable*: the same trace and
+the same plan reproduce every fault, every retry, and every recovery
+decision byte-for-byte.
+
+Fault taxonomy (the ``FAULT_*`` constants):
+
+- ``kernel_timeout`` — the driver watchdog kills a wedged kernel after
+  ``magnitude`` simulated seconds; the attempt fails.
+- ``kernel_stall``   — the kernel limps to completion ``magnitude``
+  times slower than normal; results are correct, latency suffers.
+- ``ecc_bitflip``    — an uncorrectable ECC error in a distance buffer
+  is detected after the kernel finishes; the (wasted) compute time is
+  charged and the attempt fails, results discarded.
+- ``mem_exhaustion`` — device allocation fails before compute; only the
+  attempted upload is charged.
+- ``worker_loss``    — a distributed-construction worker (``target``)
+  dies; its shard must be re-executed elsewhere.
+- ``network_partition`` — the cluster interconnect stalls for
+  ``magnitude`` seconds; merge-round communication blocks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Fault kinds delivered inside the kernel-dispatch path.
+FAULT_KERNEL_TIMEOUT = "kernel_timeout"
+FAULT_KERNEL_STALL = "kernel_stall"
+FAULT_ECC_BITFLIP = "ecc_bitflip"
+FAULT_MEM_EXHAUSTION = "mem_exhaustion"
+#: Fault kinds delivered to the distributed-construction cluster.
+FAULT_WORKER_LOSS = "worker_loss"
+FAULT_NETWORK_PARTITION = "network_partition"
+
+KERNEL_FAULT_KINDS = (
+    FAULT_KERNEL_TIMEOUT,
+    FAULT_KERNEL_STALL,
+    FAULT_ECC_BITFLIP,
+    FAULT_MEM_EXHAUSTION,
+)
+CLUSTER_FAULT_KINDS = (
+    FAULT_WORKER_LOSS,
+    FAULT_NETWORK_PARTITION,
+)
+ALL_FAULT_KINDS = KERNEL_FAULT_KINDS + CLUSTER_FAULT_KINDS
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes:
+        kind: One of the ``FAULT_*`` constants.
+        at_seconds: Simulated time the fault arms.  Kernel faults fire
+            on the first dispatch attempt at or after this instant;
+            cluster faults apply at this point of the build timeline.
+        magnitude: Kind-specific knob — watchdog seconds for
+            ``kernel_timeout``, slowdown factor for ``kernel_stall``,
+            partition duration for ``network_partition``; ignored
+            otherwise.
+        target: Worker index for ``worker_loss`` (``-1`` elsewhere).
+    """
+
+    kind: str
+    at_seconds: float
+    magnitude: float = 1.0
+    target: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(ALL_FAULT_KINDS)}"
+            )
+        if self.at_seconds < 0:
+            raise ConfigurationError(
+                f"fault at_seconds must be >= 0, got {self.at_seconds}"
+            )
+        if self.magnitude <= 0:
+            raise ConfigurationError(
+                f"fault magnitude must be positive, got {self.magnitude}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form for serialization."""
+        return {"kind": self.kind, "at_seconds": self.at_seconds,
+                "magnitude": self.magnitude, "target": self.target}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(kind=str(data["kind"]),
+                   at_seconds=float(data["at_seconds"]),
+                   magnitude=float(data.get("magnitude", 1.0)),
+                   target=int(data.get("target", -1)))
+
+
+class FaultPlan:
+    """An ordered fault schedule plus the seed for derived randomness.
+
+    Args:
+        events: The faults to deliver; stored sorted by
+            ``(at_seconds, kind, target)`` so plan identity is
+            independent of construction order.
+        seed: Seed for every RNG the plan hands out (retry jitter,
+            bit-flip positions).  Two plans with equal events and equal
+            seeds behave identically.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent] = (), seed: int = 0):
+        self.events: Tuple[FaultEvent, ...] = tuple(sorted(
+            events, key=lambda e: (e.at_seconds, e.kind, e.target)))
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self.events == other.events and self.seed == other.seed
+
+    def kernel_events(self) -> List[FaultEvent]:
+        """Events delivered inside kernel dispatch, schedule order."""
+        return [e for e in self.events if e.kind in KERNEL_FAULT_KINDS]
+
+    def cluster_events(self) -> List[FaultEvent]:
+        """Events delivered to the distributed cluster, schedule order."""
+        return [e for e in self.events if e.kind in CLUSTER_FAULT_KINDS]
+
+    def rng(self, stream: str = "jitter") -> np.random.Generator:
+        """A deterministic RNG derived from the plan seed and a label."""
+        label = np.frombuffer(stream.encode("utf-8"), dtype=np.uint8)
+        return np.random.default_rng([self.seed, *label.tolist()])
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (lists and scalars only)."""
+        return {"seed": self.seed,
+                "events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(events=[FaultEvent.from_dict(e)
+                           for e in data.get("events", [])],
+                   seed=int(data.get("seed", 0)))
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding (sorted keys, stable event order)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def poisson(cls, rates: Dict[str, float], horizon_seconds: float,
+                seed: int = 0, magnitudes: Optional[Dict[str, float]] = None,
+                n_workers: int = 0) -> "FaultPlan":
+        """Poisson-process fault schedule over a time horizon.
+
+        Args:
+            rates: ``kind -> events per simulated second``.
+            horizon_seconds: Schedule length.
+            seed: Plan seed (also drives event placement).
+            magnitudes: Optional ``kind -> magnitude`` overrides.
+            n_workers: Cluster size for ``worker_loss`` targeting.
+
+        Returns:
+            A :class:`FaultPlan` whose events are a deterministic
+            function of the arguments.
+        """
+        if horizon_seconds <= 0:
+            raise ConfigurationError(
+                f"horizon_seconds must be positive, got {horizon_seconds}"
+            )
+        defaults = {
+            FAULT_KERNEL_TIMEOUT: 2e-3,
+            FAULT_KERNEL_STALL: 4.0,
+            FAULT_ECC_BITFLIP: 1.0,
+            FAULT_MEM_EXHAUSTION: 1.0,
+            FAULT_WORKER_LOSS: 1.0,
+            FAULT_NETWORK_PARTITION: 1e-2,
+        }
+        if magnitudes:
+            defaults.update(magnitudes)
+        events: List[FaultEvent] = []
+        # One independent, label-derived RNG stream per kind, so adding
+        # a kind never perturbs the schedule of the others.
+        for kind in sorted(rates):
+            rate = rates[kind]
+            if rate < 0:
+                raise ConfigurationError(
+                    f"rate for {kind!r} must be >= 0, got {rate}"
+                )
+            if rate == 0:
+                continue
+            rng = cls(seed=seed).rng(f"poisson:{kind}")
+            t = 0.0
+            while True:
+                t += float(rng.exponential(1.0 / rate))
+                if t >= horizon_seconds:
+                    break
+                target = -1
+                if kind == FAULT_WORKER_LOSS and n_workers > 0:
+                    target = int(rng.integers(0, n_workers))
+                events.append(FaultEvent(kind=kind, at_seconds=t,
+                                         magnitude=defaults[kind],
+                                         target=target))
+        return cls(events=events, seed=seed)
+
+
+#: Named plan recipes the CLI and CI smoke accept.  Rates are events
+#: per simulated second; serving traces last milliseconds, so the
+#: numbers look large.
+_NAMED_RECIPES: Dict[str, Dict[str, float]] = {
+    "none": {},
+    "mild": {
+        FAULT_KERNEL_STALL: 30.0,
+        FAULT_KERNEL_TIMEOUT: 10.0,
+    },
+    "aggressive": {
+        FAULT_KERNEL_TIMEOUT: 120.0,
+        FAULT_KERNEL_STALL: 120.0,
+        FAULT_ECC_BITFLIP: 80.0,
+        FAULT_MEM_EXHAUSTION: 80.0,
+    },
+    "memory": {
+        FAULT_ECC_BITFLIP: 150.0,
+        FAULT_MEM_EXHAUSTION: 150.0,
+    },
+    "blackout": {
+        # Dense enough that consecutive dispatches fail and the circuit
+        # breaker trips.
+        FAULT_KERNEL_TIMEOUT: 600.0,
+    },
+}
+
+
+def named_fault_plan(name: str, horizon_seconds: float,
+                     seed: int = 0) -> FaultPlan:
+    """Build one of the named chaos recipes (see ``fault_plan_names``).
+
+    Args:
+        name: Recipe name (``none``, ``mild``, ``aggressive``,
+            ``memory``, ``blackout``).
+        horizon_seconds: Simulated length the plan should cover —
+            typically the expected trace duration with headroom.
+        seed: Plan seed.
+    """
+    if name not in _NAMED_RECIPES:
+        raise ConfigurationError(
+            f"unknown fault plan {name!r}; expected one of "
+            f"{sorted(_NAMED_RECIPES)}"
+        )
+    return FaultPlan.poisson(_NAMED_RECIPES[name], horizon_seconds,
+                             seed=seed)
+
+
+def fault_plan_names() -> List[str]:
+    """Names accepted by :func:`named_fault_plan`."""
+    return sorted(_NAMED_RECIPES)

@@ -1,0 +1,305 @@
+"""Recovery policies: retries, circuit breaking, graceful degradation.
+
+Three cooperating policies let the serving engine survive the faults
+:mod:`repro.faults.injector` delivers:
+
+- :class:`RetryPolicy` — capped exponential backoff with jitter drawn
+  from the fault plan's seeded RNG, so even the "random" spacing of
+  retries replays deterministically.
+- :class:`BreakerPolicy` / :class:`CircuitBreaker` — after a run of
+  consecutive kernel failures the breaker opens and dispatches fail
+  fast (or degrade, with a governor) instead of burning the device on
+  work that keeps dying; after a cooldown a half-open probe decides
+  whether to close again.
+- :class:`AdmissionGovernor` — under queue pressure or an impaired
+  breaker, search quality steps down through configured tiers
+  (shrinking candidate-pool ``l_n`` / explore budget ``e``) instead of
+  rejecting requests outright.  Every degraded request carries its tier
+  so a cheaper answer is never mistaken for a full-quality one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.params import SearchParams
+from repro.errors import ConfigurationError
+from repro.gpusim.sorting import next_pow2
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for failed dispatch attempts.
+
+    Attributes:
+        max_retries: Re-execution attempts after the first failure
+            (``0`` disables retrying).
+        base_seconds: Backoff before the first retry.
+        cap_seconds: Upper bound on any single backoff.
+        jitter_fraction: Each backoff is stretched by up to this
+            fraction, drawn from the fault plan's RNG — desynchronising
+            retries exactly as production backoff jitter does.
+    """
+
+    max_retries: int = 2
+    base_seconds: float = 2e-4
+    cap_seconds: float = 2e-3
+    jitter_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_seconds <= 0 or self.cap_seconds <= 0:
+            raise ConfigurationError(
+                f"backoff base/cap must be positive, got "
+                f"{self.base_seconds}, {self.cap_seconds}"
+            )
+        if self.cap_seconds < self.base_seconds:
+            raise ConfigurationError(
+                f"cap_seconds ({self.cap_seconds}) must be >= "
+                f"base_seconds ({self.base_seconds})"
+            )
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ConfigurationError(
+                f"jitter_fraction must lie in [0, 1], got "
+                f"{self.jitter_fraction}"
+            )
+
+    def backoff_seconds(self, attempt: int,
+                        rng: np.random.Generator) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        Always draws from ``rng`` (even at zero jitter) so the plan's
+        jitter stream advances identically whatever the fraction —
+        changing the knob never re-times *other* random decisions.
+        """
+        if attempt <= 0:
+            raise ConfigurationError(
+                f"attempt must be >= 1, got {attempt}"
+            )
+        delay = min(self.base_seconds * (2.0 ** (attempt - 1)),
+                    self.cap_seconds)
+        draw = float(rng.random())
+        return delay * (1.0 + self.jitter_fraction * draw)
+
+
+#: Circuit-breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Knobs of the dispatch circuit breaker.
+
+    Attributes:
+        failure_threshold: Consecutive failed attempts that trip the
+            breaker open.
+        cooldown_seconds: How long an open breaker blocks dispatches
+            before allowing a half-open probe.
+    """
+
+    failure_threshold: int = 3
+    cooldown_seconds: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold <= 0:
+            raise ConfigurationError(
+                f"failure_threshold must be positive, got "
+                f"{self.failure_threshold}"
+            )
+        if self.cooldown_seconds < 0:
+            raise ConfigurationError(
+                f"cooldown_seconds must be >= 0, got "
+                f"{self.cooldown_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One recorded breaker state change."""
+
+    seconds: float
+    from_state: str
+    to_state: str
+
+
+class CircuitBreaker:
+    """Mutable breaker runtime driven by the simulated clock.
+
+    One instance serves one replay.  All time arguments are simulated
+    seconds and must be non-decreasing across calls (the engine drives
+    it in dispatch order).
+    """
+
+    def __init__(self, policy: BreakerPolicy):
+        self.policy = policy
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self.open_until = 0.0
+        self.transitions: List[BreakerTransition] = []
+
+    def _move(self, now: float, to_state: str) -> None:
+        if to_state == self.state:
+            return
+        self.transitions.append(BreakerTransition(
+            seconds=now, from_state=self.state, to_state=to_state))
+        self.state = to_state
+
+    def allow(self, now: float) -> bool:
+        """May a dispatch proceed at ``now``?
+
+        An open breaker whose cooldown has elapsed moves to half-open
+        and admits exactly one probe dispatch.
+        """
+        if self.state == BREAKER_OPEN and now >= self.open_until:
+            self._move(now, BREAKER_HALF_OPEN)
+        return self.state != BREAKER_OPEN
+
+    @property
+    def impaired(self) -> bool:
+        """True while the breaker is not fully closed."""
+        return self.state != BREAKER_CLOSED
+
+    def record_success(self, now: float) -> None:
+        """A dispatch attempt succeeded: reset and close."""
+        self.consecutive_failures = 0
+        self._move(now, BREAKER_CLOSED)
+
+    def record_failure(self, now: float) -> None:
+        """A dispatch attempt failed: count it; trip when over threshold.
+
+        A half-open probe failure re-opens immediately, whatever the
+        count — the probe existed to test recovery and it failed.
+        """
+        self.consecutive_failures += 1
+        if (self.state == BREAKER_HALF_OPEN
+                or self.consecutive_failures
+                >= self.policy.failure_threshold):
+            self.open_until = now + self.policy.cooldown_seconds
+            self._move(now, BREAKER_OPEN)
+
+
+#: Degradation-decision reasons recorded per event.
+DEGRADE_PRESSURE = "pressure"
+DEGRADE_BREAKER = "breaker"
+
+
+@dataclass(frozen=True)
+class AdmissionGovernor:
+    """Quality-tier step-down under pressure or breaker impairment.
+
+    Tier ``0`` is the engine's configured :class:`SearchParams`; tier
+    ``i >= 1`` replaces ``(l_n, e)`` with ``tiers[i - 1]``.  The tier
+    for a dispatch is the number of ``pressure_thresholds`` at or below
+    the current backlog fraction, jumping straight to the deepest tier
+    while the breaker is impaired (kernel attempts are failing, so the
+    cheapest probe is the right probe).
+
+    Attributes:
+        tiers: ``(l_n, e)`` per degraded tier, strictly decreasing
+            ``l_n`` (each a power of two).
+        pressure_thresholds: Backlog fractions (backlog / ``max_queue``)
+            at which each successive tier engages; same length as
+            ``tiers``, ascending, in ``(0, 1]``.
+        degrade_on_breaker: Jump to the deepest tier while the breaker
+            is open or half-open.
+    """
+
+    tiers: Tuple[Tuple[int, int], ...] = ((32, 16), (16, 8))
+    pressure_thresholds: Tuple[float, ...] = (0.5, 0.8)
+    degrade_on_breaker: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tiers",
+                           tuple((int(l), int(e)) for l, e in self.tiers))
+        object.__setattr__(self, "pressure_thresholds",
+                           tuple(float(p) for p in self.pressure_thresholds))
+        if not self.tiers:
+            raise ConfigurationError(
+                "governor needs at least one degraded tier"
+            )
+        if len(self.pressure_thresholds) != len(self.tiers):
+            raise ConfigurationError(
+                f"{len(self.tiers)} tiers need {len(self.tiers)} "
+                f"pressure thresholds, got "
+                f"{len(self.pressure_thresholds)}"
+            )
+        last = 0.0
+        for p in self.pressure_thresholds:
+            if not last < p <= 1.0:
+                raise ConfigurationError(
+                    f"pressure_thresholds must be ascending in (0, 1], "
+                    f"got {self.pressure_thresholds}"
+                )
+            last = p
+        prev_l = None
+        for l_n, e in self.tiers:
+            if not 1 <= e <= l_n:
+                raise ConfigurationError(
+                    f"tier ({l_n}, {e}): e must lie in [1, l_n]"
+                )
+            if prev_l is not None and l_n >= prev_l:
+                raise ConfigurationError(
+                    f"tier l_n values must strictly decrease, got "
+                    f"{[t[0] for t in self.tiers]}"
+                )
+            prev_l = l_n
+
+    @property
+    def n_tiers(self) -> int:
+        """Tier count including the full-quality tier 0."""
+        return len(self.tiers) + 1
+
+    @classmethod
+    def default_for(cls, params: SearchParams,
+                    n_degraded_tiers: int = 2) -> "AdmissionGovernor":
+        """Halve ``l_n`` per tier down to the smallest pool holding ``k``."""
+        floor = next_pow2(params.k)
+        tiers = []
+        l_n = params.l_n
+        for _ in range(n_degraded_tiers):
+            l_n //= 2
+            if l_n < floor:
+                break
+            tiers.append((l_n, max(l_n // 2, params.k)))
+        if not tiers:
+            raise ConfigurationError(
+                f"no degraded tier fits below l_n={params.l_n} with "
+                f"k={params.k}"
+            )
+        step = 1.0 / (len(tiers) + 1)
+        thresholds = tuple(step * (i + 1) for i in range(len(tiers)))
+        return cls(tiers=tuple(tiers), pressure_thresholds=thresholds)
+
+    def select_tier(self, pressure: float, breaker_impaired: bool) -> int:
+        """Tier for a dispatch at the given backlog fraction."""
+        if breaker_impaired and self.degrade_on_breaker:
+            return len(self.tiers)
+        tier = 0
+        for threshold in self.pressure_thresholds:
+            if pressure >= threshold:
+                tier += 1
+        return tier
+
+    def params_for(self, tier: int, base: SearchParams) -> SearchParams:
+        """The :class:`SearchParams` a given tier searches with."""
+        if tier == 0:
+            return base
+        if not 1 <= tier <= len(self.tiers):
+            raise ConfigurationError(
+                f"tier must lie in [0, {len(self.tiers)}], got {tier}"
+            )
+        l_n, e = self.tiers[tier - 1]
+        if base.k > l_n:
+            raise ConfigurationError(
+                f"tier {tier} pool l_n={l_n} cannot hold k={base.k} "
+                f"results"
+            )
+        return base.with_overrides(l_n=l_n, e=min(e, l_n))

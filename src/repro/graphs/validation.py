@@ -25,15 +25,19 @@ def validate_graph(graph: ProximityGraph, points: Optional[np.ndarray] = None,
 
     Checks, in order:
 
-    1. Dense-layout consistency: each row's first ``degree`` entries are
-       valid ids, the rest are padding.
+    1. Dense-layout consistency: adjacency arrays are ``(n, d_max)``
+       and each row's first ``degree`` entries are valid ids, the rest
+       padding.
     2. No self-loops, no duplicate neighbors within a row.
-    3. Rows sorted ascending by distance.
-    4. Degree bounds: every degree ``<= d_max`` and, when ``d_min`` is
+    3. All live distances finite (a NaN would sail through the
+       sortedness check below — every comparison against NaN is false —
+       and then silently poison every search that touches the row).
+    4. Rows sorted ascending by distance.
+    5. Degree bounds: every degree ``<= d_max`` and, when ``d_min`` is
        given, every vertex except possibly the first ``d_min`` inserted has
        degree ``>= min(d_min, what was available)`` — the paper's
        lower-bound property (2).
-    5. When ``points`` is given and ``check_distances`` is set, stored
+    6. When ``points`` is given and ``check_distances`` is set, stored
        distances match recomputed ones to within ``atol``.
 
     Args:
@@ -50,6 +54,13 @@ def validate_graph(graph: ProximityGraph, points: Optional[np.ndarray] = None,
     ids = graph.neighbor_ids
     dists = graph.neighbor_dists
     degrees = graph.degrees
+
+    if ids.shape != (n, graph.d_max) or dists.shape != ids.shape:
+        raise GraphError(
+            f"adjacency arrays must both be (n_vertices={n}, "
+            f"d_max={graph.d_max}); got ids {ids.shape} and dists "
+            f"{dists.shape}"
+        )
 
     if np.any(degrees < 0) or np.any(degrees > graph.d_max):
         bad = int(np.flatnonzero((degrees < 0) | (degrees > graph.d_max))[0])
@@ -72,6 +83,15 @@ def validate_graph(graph: ProximityGraph, points: Optional[np.ndarray] = None,
     if np.any((ids == own) & live):
         bad = int(np.flatnonzero(np.any((ids == own) & live, axis=1))[0])
         raise GraphError(f"vertex {bad} has a self-loop")
+
+    bad_dists = live & ~np.isfinite(dists)
+    if np.any(bad_dists):
+        bad = int(np.flatnonzero(np.any(bad_dists, axis=1))[0])
+        col = int(np.flatnonzero(bad_dists[bad])[0])
+        raise GraphError(
+            f"vertex {bad} stores a non-finite neighbor distance "
+            f"({dists[bad, col]}) at slot {col}"
+        )
 
     for v in range(n):
         degree = degrees[v]

@@ -6,7 +6,10 @@ an exact-verified LRU result cache when possible, aggregated by a
 dynamic micro-batching scheduler (flush on size or deadline), dispatched
 through the stream-overlap pipeline of :mod:`repro.core.pipeline`, and
 demultiplexed back into per-request results with queue/compute latency
-accounting.  See ``docs/serving.md`` for the design.
+accounting.  The engine is fault-tolerant: wired to a
+:class:`repro.faults.FaultPlan` it survives injected kernel faults with
+deadlines, retries, a circuit breaker and graceful quality degradation.
+See ``docs/serving.md`` and ``docs/fault_model.md`` for the design.
 """
 
 from repro.serve.cache import CacheStats, ResultCache, quantize_query

@@ -1,4 +1,4 @@
-"""The serving engine: admission, batching, dispatch, demultiplexing.
+"""The serving engine: admission, batching, dispatch, fault tolerance.
 
 This is the layer the ROADMAP's "serving heavy traffic" goal needs on
 top of the paper's kernel: individual requests arrive at arbitrary
@@ -18,25 +18,51 @@ engine closes that gap:
    :func:`repro.core.pipeline.stream_batches`; consecutive batches
    overlap on the simulated device exactly as the paper's CUDA streams
    do (batch ``i+1`` uploads while batch ``i`` computes).
-5. **Demultiplexing** — per-request result slices, latency split into
+5. **Fault tolerance** (:mod:`repro.faults`) — a seeded
+   :class:`~repro.faults.plan.FaultPlan` may inject kernel timeouts,
+   stalls, ECC errors and memory exhaustion into dispatch; the engine
+   answers with per-request deadlines, capped-exponential retries, a
+   circuit breaker, and (with an
+   :class:`~repro.faults.policy.AdmissionGovernor`) graceful quality
+   degradation instead of outright rejection.  Every event lands in a
+   :class:`~repro.faults.report.FaultReport`.
+6. **Demultiplexing** — per-request result slices, latency split into
    queue wait and compute, and a :class:`ServeReport` summary.
 
-Everything runs in simulated seconds; a replay of the same trace is
-bit-for-bit deterministic, and the answers are byte-identical to a
-direct :func:`repro.core.ganns.ganns_search` of the same queries (the
-integration tests pin both properties).
+Everything runs in simulated seconds; a replay of the same trace under
+the same fault plan is bit-for-bit deterministic, and every served
+answer is either byte-identical to a direct
+:func:`repro.core.ganns.ganns_search` of the same queries or explicitly
+marked with the degradation tier it was served at (the integration
+tests pin both properties).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.params import SearchParams
 from repro.core.pipeline import stream_batches
-from repro.errors import ServeError
+from repro.errors import FaultError, ServeError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import (
+    AdmissionGovernor,
+    BreakerPolicy,
+    CircuitBreaker,
+    DEGRADE_BREAKER,
+    DEGRADE_PRESSURE,
+    RetryPolicy,
+)
+from repro.faults.report import (
+    DegradationRecord,
+    FaultReport,
+    InjectionRecord,
+    RetryRecord,
+)
 from repro.graphs.adjacency import ProximityGraph
 from repro.gpusim.costs import CostTable, DEFAULT_COSTS
 from repro.gpusim.device import DeviceSpec, QUADRO_P5000
@@ -71,6 +97,20 @@ class _EngineClock:
             + download
         return upload_start, self.download_free
 
+    def charge_failure(self, ready: float, upload: float,
+                       compute: float) -> float:
+        """Occupy the upload/compute engines for a *failed* attempt.
+
+        Nothing downloads — the attempt died before producing results —
+        but the wasted engine time still delays everything behind it.
+        Returns the simulated instant the failure was detected.
+        """
+        upload_start = max(ready, self.upload_free)
+        self.upload_free = upload_start + upload
+        self.compute_free = max(self.compute_free, self.upload_free) \
+            + compute
+        return self.compute_free
+
 
 class ServeEngine:
     """Batched query-serving over one shared GANNS index.
@@ -84,6 +124,19 @@ class ServeEngine:
         device: Simulated device (clock and PCIe figures).
         costs: Cycle cost table.
         entry: Search entry vertex (scalar; shared by all queries).
+        faults: Optional :class:`FaultPlan` to inject during dispatch.
+            A fresh :class:`FaultInjector` is built per replay, so the
+            same engine replays identically any number of times.
+        retry: Backoff policy for failed dispatch attempts; defaults to
+            :class:`RetryPolicy` when a fault plan is given.
+        breaker: Circuit-breaker knobs; defaults to
+            :class:`BreakerPolicy` when a fault plan is given.
+        governor: Optional graceful-degradation governor.  Without one,
+            overload rejects and an open breaker fails fast; with one,
+            search quality steps down through its tiers instead.
+        default_deadline_seconds: Deadline applied to requests that do
+            not carry their own (relative to arrival); ``None`` means
+            no deadline.
     """
 
     def __init__(self, graph: ProximityGraph, points: np.ndarray,
@@ -92,7 +145,12 @@ class ServeEngine:
                  cache: Optional[ResultCache] = None,
                  device: DeviceSpec = QUADRO_P5000,
                  costs: CostTable = DEFAULT_COSTS,
-                 entry: int = 0):
+                 entry: int = 0,
+                 faults: Optional[FaultPlan] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[BreakerPolicy] = None,
+                 governor: Optional[AdmissionGovernor] = None,
+                 default_deadline_seconds: Optional[float] = None):
         self.graph = graph
         self.points = np.asarray(points)
         if self.points.ndim != 2:
@@ -106,10 +164,37 @@ class ServeEngine:
         self.device = device
         self.costs = costs
         self.entry = int(entry)
+        self.faults = faults
+        if faults is not None:
+            retry = retry if retry is not None else RetryPolicy()
+            breaker = breaker if breaker is not None else BreakerPolicy()
+        self.retry = retry
+        self.breaker_policy = breaker
+        self.governor = governor
+        if governor is not None:
+            # Fail at construction if any tier cannot hold k results.
+            for tier in range(1, governor.n_tiers):
+                governor.params_for(tier, self.params)
+        if (default_deadline_seconds is not None
+                and default_deadline_seconds <= 0):
+            raise ServeError(
+                f"default_deadline_seconds must be positive, got "
+                f"{default_deadline_seconds}"
+            )
+        self.default_deadline_seconds = default_deadline_seconds
 
     # ------------------------------------------------------------------
     # Replay
     # ------------------------------------------------------------------
+
+    def _deadline_of(self, req: QueryRequest) -> Optional[float]:
+        """Absolute deadline of one request, or ``None``."""
+        relative = (req.deadline_seconds
+                    if req.deadline_seconds is not None
+                    else self.default_deadline_seconds)
+        if relative is None:
+            return None
+        return req.arrival_seconds + relative
 
     def replay(self, trace: Sequence[QueryRequest]) -> ServeReport:
         """Replay an arrival-ordered trace to quiescence.
@@ -118,7 +203,9 @@ class ServeEngine:
             trace: Requests with non-decreasing ``arrival_seconds``.
 
         Returns:
-            A :class:`ServeReport` holding every request's outcome.
+            A :class:`ServeReport` holding every request's outcome and,
+            when fault machinery is configured, a
+            :class:`FaultReport` of every fault-tolerance event.
 
         Raises:
             ServeError: On an out-of-order trace or a query whose
@@ -128,6 +215,15 @@ class ServeEngine:
         signature = self.params.signature()
         scheduler = MicroBatchScheduler(self.policy)
         clock = _EngineClock()
+        injector = (FaultInjector(self.faults)
+                    if self.faults is not None else None)
+        breaker = (CircuitBreaker(self.breaker_policy)
+                   if self.breaker_policy is not None else None)
+        jitter_rng = (injector.jitter_rng if injector is not None
+                      else np.random.default_rng(0))
+        fault_report = FaultReport(
+            scheduled_faults=len(self.faults.kernel_events())
+            if self.faults is not None else 0)
         outcomes: List[Optional[RequestOutcome]] = [None] * len(trace)
         positions = {}
         for pos, req in enumerate(trace):
@@ -143,39 +239,151 @@ class ServeEngine:
         in_flight: List[tuple] = []  # (completion_seconds, n_queries)
         gpu_busy = 0.0
 
+        def finish(req: QueryRequest, **kwargs) -> None:
+            outcomes[positions[id(req)]] = RequestOutcome(
+                request_id=req.request_id,
+                arrival_seconds=req.arrival_seconds, **kwargs)
+
+        def fail_batch(live, batch, when, detail) -> None:
+            for req in live:
+                finish(req, status=RequestStatus.FAILED,
+                       ids=None, dists=None, completion_seconds=when,
+                       queue_seconds=when - req.arrival_seconds,
+                       batch_index=batch.index, detail=detail)
+
         def dispatch(batch: Batch) -> None:
             nonlocal gpu_busy
+            now = batch.flush_seconds
+
+            # Deadline load-shedding: a request already past its
+            # deadline gains nothing from dispatch — drop it before it
+            # wastes device time.
+            live = []
+            for req in batch.requests:
+                deadline = self._deadline_of(req)
+                if deadline is not None and deadline <= now:
+                    finish(req, status=RequestStatus.TIMED_OUT,
+                           ids=None, dists=None, completion_seconds=now,
+                           queue_seconds=now - req.arrival_seconds,
+                           batch_index=batch.index,
+                           detail="deadline expired while queued")
+                    fault_report.deadline_dropped_requests += 1
+                else:
+                    live.append(req)
+            if not live:
+                return
+
+            # Circuit breaker: while open, fail fast instead of feeding
+            # a dying kernel more work.
+            if breaker is not None and not breaker.allow(now):
+                fail_batch(live, batch, now, "circuit breaker open")
+                fault_report.fast_failed_requests += len(live)
+                return
+
+            # Graceful degradation: pick this dispatch's quality tier.
+            tier = 0
+            params = self.params
+            if self.governor is not None:
+                inflight_queries = sum(n for c, n in in_flight if c > now)
+                pressure = ((batch.n_queries + inflight_queries
+                             + scheduler.pending_queries)
+                            / self.policy.max_queue)
+                impaired = breaker is not None and breaker.impaired
+                tier = self.governor.select_tier(pressure, impaired)
+                if tier > 0:
+                    params = self.governor.params_for(tier, self.params)
+                    fault_report.degradations.append(DegradationRecord(
+                        seconds=now, batch_index=batch.index, tier=tier,
+                        reason=DEGRADE_BREAKER if impaired
+                        else DEGRADE_PRESSURE))
+
             queries = np.concatenate(
-                [req.queries for req in batch.requests], axis=0)
-            stream = stream_batches(
-                self.graph, self.points, queries, self.params,
-                batch_size=len(queries), device=self.device,
-                costs=self.costs, entry=self.entry)
+                [req.queries for req in live], axis=0)
+
+            ready = now
+            attempt = 0
+            while True:
+                consumed: List = []
+                hook = (injector.hook(ready, sink=consumed)
+                        if injector is not None else None)
+                try:
+                    stream = stream_batches(
+                        self.graph, self.points, queries, params,
+                        batch_size=len(queries), device=self.device,
+                        costs=self.costs, entry=self.entry,
+                        fault_hook=hook)
+                except FaultError as err:
+                    fault_report.injections.append(InjectionRecord(
+                        seconds=ready, kind=err.kind,
+                        batch_index=batch.index, attempt=attempt,
+                        fatal=True))
+                    failed_at = clock.charge_failure(
+                        ready, err.upload_seconds, err.compute_seconds)
+                    gpu_busy += err.compute_seconds
+                    if breaker is not None:
+                        breaker.record_failure(failed_at)
+                    tripped = (breaker is not None
+                               and not breaker.allow(failed_at))
+                    exhausted = (self.retry is None
+                                 or attempt >= self.retry.max_retries)
+                    if tripped or exhausted:
+                        detail = ("circuit breaker open" if tripped
+                                  else f"retries exhausted after "
+                                       f"{attempt + 1} attempts "
+                                       f"({err.kind})")
+                        fail_batch(live, batch, failed_at, detail)
+                        in_flight.append((failed_at, len(queries)))
+                        batch_sizes.append(len(queries))
+                        batch_triggers.append(batch.trigger)
+                        return
+                    attempt += 1
+                    backoff = self.retry.backoff_seconds(
+                        attempt, jitter_rng)
+                    fault_report.retries.append(RetryRecord(
+                        seconds=failed_at, batch_index=batch.index,
+                        attempt=attempt, backoff_seconds=backoff))
+                    ready = failed_at + backoff
+                    continue
+                break
+
+            # Survivable faults (stalls) consumed by the winning attempt.
+            for event in consumed:
+                fault_report.injections.append(InjectionRecord(
+                    seconds=ready, kind=event.kind,
+                    batch_index=batch.index, attempt=attempt,
+                    fatal=False))
+
             timing = stream.batches[0]
             start, completion = clock.schedule(
-                batch.flush_seconds, timing.upload_seconds,
+                ready, timing.upload_seconds,
                 timing.compute_seconds, timing.download_seconds)
+            if breaker is not None:
+                breaker.record_success(completion)
             gpu_busy += timing.compute_seconds
-            in_flight.append((completion, batch.n_queries))
-            batch_sizes.append(batch.n_queries)
+            in_flight.append((completion, len(queries)))
+            batch_sizes.append(len(queries))
             batch_triggers.append(batch.trigger)
 
             offset = 0
-            for req in batch.requests:
+            for req in live:
                 ids = stream.ids[offset:offset + req.n_queries]
                 dists = stream.dists[offset:offset + req.n_queries]
                 offset += req.n_queries
-                outcomes[positions[id(req)]] = RequestOutcome(
-                    request_id=req.request_id,
-                    status=RequestStatus.SERVED,
-                    ids=ids.copy(), dists=dists.copy(),
-                    arrival_seconds=req.arrival_seconds,
-                    completion_seconds=completion,
-                    queue_seconds=start - req.arrival_seconds,
-                    compute_seconds=completion - start,
-                    batch_index=batch.index,
-                )
-                if self.cache is not None:
+                deadline = self._deadline_of(req)
+                finish(req, status=RequestStatus.SERVED,
+                       ids=ids.copy(), dists=dists.copy(),
+                       completion_seconds=completion,
+                       queue_seconds=start - req.arrival_seconds,
+                       compute_seconds=completion - start,
+                       batch_index=batch.index,
+                       degraded_tier=tier,
+                       deadline_missed=(deadline is not None
+                                        and completion > deadline),
+                       n_retries=attempt)
+                # Only full-quality answers enter the cache: a degraded
+                # result under the tier-0 signature would be a silent
+                # quality lie on the next hit.
+                if self.cache is not None and tier == 0:
                     for row in range(req.n_queries):
                         self.cache.put(req.queries[row], signature,
                                        ids[row], dists[row])
@@ -202,24 +410,17 @@ class ServeEngine:
             hit = self._cache_lookup(req, signature)
             if hit is not None:
                 ids, dists = hit
-                outcomes[pos] = RequestOutcome(
-                    request_id=req.request_id,
-                    status=RequestStatus.CACHE_HIT,
-                    ids=ids, dists=dists,
-                    arrival_seconds=now, completion_seconds=now,
-                )
+                finish(req, status=RequestStatus.CACHE_HIT,
+                       ids=ids, dists=dists, completion_seconds=now)
                 continue
 
             in_flight[:] = [(c, n) for c, n in in_flight if c > now]
             backlog = scheduler.pending_queries \
                 + sum(n for _, n in in_flight)
             if backlog + req.n_queries > self.policy.max_queue:
-                outcomes[pos] = RequestOutcome(
-                    request_id=req.request_id,
-                    status=RequestStatus.REJECTED,
-                    ids=None, dists=None,
-                    arrival_seconds=now, completion_seconds=now,
-                )
+                finish(req, status=RequestStatus.REJECTED,
+                       ids=None, dists=None, completion_seconds=now,
+                       detail="admission queue full")
                 continue
 
             for batch in scheduler.submit(req, now):
@@ -229,9 +430,15 @@ class ServeEngine:
             dispatch(batch)
 
         assert all(outcome is not None for outcome in outcomes)
+        if breaker is not None:
+            fault_report.breaker_transitions = list(breaker.transitions)
         first_arrival = trace[0].arrival_seconds if trace else 0.0
         last_completion = max(
             (o.completion_seconds for o in outcomes), default=0.0)
+        has_fault_machinery = (self.faults is not None
+                               or self.breaker_policy is not None
+                               or self.governor is not None
+                               or self.default_deadline_seconds is not None)
         return ServeReport(
             outcomes=outcomes,
             batch_sizes=batch_sizes,
@@ -240,6 +447,7 @@ class ServeEngine:
             gpu_busy_seconds=gpu_busy,
             cache_stats=self.cache.stats if self.cache is not None
             else None,
+            fault_report=fault_report if has_fault_machinery else None,
         )
 
     def _cache_lookup(self, req: QueryRequest, signature: tuple

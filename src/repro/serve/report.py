@@ -8,11 +8,13 @@ percentile or throughput rules.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.faults.report import FaultReport
 from repro.serve.request import RequestOutcome, RequestStatus
 
 
@@ -35,6 +37,8 @@ class ServeReport:
             dispatched batches.
         cache_stats: The result cache's counters (``None`` when serving
             ran without a cache).
+        fault_report: Fault-tolerance event ledger (``None`` when the
+            engine ran without any fault machinery).
     """
 
     outcomes: List[RequestOutcome]
@@ -43,6 +47,7 @@ class ServeReport:
     makespan_seconds: float = 0.0
     gpu_busy_seconds: float = 0.0
     cache_stats: Optional[object] = None
+    fault_report: Optional[FaultReport] = None
 
     # ------------------------------------------------------------------
     # Populations
@@ -69,6 +74,38 @@ class ServeReport:
         """Requests refused by admission control."""
         return sum(1 for o in self.outcomes
                    if o.status is RequestStatus.REJECTED)
+
+    @property
+    def n_failed(self) -> int:
+        """Requests whose dispatch failed permanently."""
+        return sum(1 for o in self.outcomes
+                   if o.status is RequestStatus.FAILED)
+
+    @property
+    def n_timed_out(self) -> int:
+        """Requests dropped because their deadline expired in queue."""
+        return sum(1 for o in self.outcomes
+                   if o.status is RequestStatus.TIMED_OUT)
+
+    @property
+    def n_degraded(self) -> int:
+        """Requests served below the full-quality tier."""
+        return sum(1 for o in self.outcomes if o.degraded)
+
+    @property
+    def n_deadline_missed(self) -> int:
+        """Requests served, but after their deadline."""
+        return sum(1 for o in self.outcomes
+                   if o.served and o.deadline_missed)
+
+    def per_tier_counts(self) -> Dict[int, int]:
+        """Served-request counts per degradation tier."""
+        counts: Dict[int, int] = {}
+        for o in self.outcomes:
+            if o.served:
+                counts[o.degraded_tier] = \
+                    counts.get(o.degraded_tier, 0) + 1
+        return counts
 
     @property
     def n_batches(self) -> int:
@@ -155,6 +192,13 @@ class ServeReport:
             return 0.0
         return self.n_rejected / self.n_requests
 
+    @property
+    def completion_rate(self) -> float:
+        """Served requests (any tier) over all requests."""
+        if self.n_requests == 0:
+            return 0.0
+        return self.n_served / self.n_requests
+
     def trigger_counts(self) -> Dict[str, int]:
         """How many batches each flush trigger produced."""
         counts: Dict[str, int] = {}
@@ -190,12 +234,68 @@ class ServeReport:
             f"{self.mean_batch_size:.1f}"
             + (f" ({self._trigger_note()})" if self.batch_triggers else ""),
             f"  cache         {self.n_cache_hits} hits, "
-            f"hit rate {self.cache_hit_rate:.1%}",
+            f"hit rate {self.cache_hit_rate:.1%}"
+            + self._cache_detail_note(),
             f"  rejected      {self.n_rejected} "
             f"({self.rejection_rate:.1%})",
             f"  gpu busy      {self.gpu_utilisation:.1%} of makespan",
         ]
+        if (self.n_degraded or self.n_failed or self.n_timed_out
+                or self.fault_report is not None):
+            tiers = ", ".join(
+                f"tier {tier}: {count}" for tier, count in
+                sorted(self.per_tier_counts().items()))
+            lines.append(f"  degraded      {self.n_degraded} served "
+                         f"below tier 0 ({tiers})")
+            lines.append(f"  failed        {self.n_failed} failed, "
+                         f"{self.n_timed_out} timed out, "
+                         f"{self.n_deadline_missed} served late")
+        if self.fault_report is not None:
+            lines.append(self.fault_report.summary())
         return "\n".join(lines)
+
+    def _cache_detail_note(self) -> str:
+        stats = self.cache_stats
+        if stats is None:
+            return ""
+        return (f" ({stats.collisions} collision-rejects, "
+                f"{stats.evictions} evictions)")
+
+    # ------------------------------------------------------------------
+    # Canonical form
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Canonical byte encoding of every result-bearing field.
+
+        Two replays of the same trace under the same fault plan must
+        produce equal encodings — the golden chaos-determinism test
+        compares these bytes directly.
+        """
+        chunks: List[bytes] = []
+        for o in self.outcomes:
+            head = (f"{o.request_id} {o.status.value} {o.batch_index} "
+                    f"{o.degraded_tier} {o.n_retries} "
+                    f"{int(o.deadline_missed)} {o.arrival_seconds!r} "
+                    f"{o.completion_seconds!r} {o.queue_seconds!r} "
+                    f"{o.compute_seconds!r} {o.detail}\n")
+            chunks.append(head.encode("utf-8"))
+            for arr in (o.ids, o.dists):
+                chunks.append(b"-" if arr is None
+                              else np.ascontiguousarray(arr).tobytes())
+        tail = (f"\nsizes={self.batch_sizes}"
+                f"\ntriggers={self.batch_triggers}"
+                f"\nmakespan={self.makespan_seconds!r}"
+                f"\ngpu_busy={self.gpu_busy_seconds!r}")
+        chunks.append(tail.encode("utf-8"))
+        if self.fault_report is not None:
+            chunks.append(b"\n")
+            chunks.append(self.fault_report.to_bytes())
+        return b"".join(chunks)
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of :meth:`to_bytes`."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
 
     def _trigger_note(self) -> str:
         counts = self.trigger_counts()

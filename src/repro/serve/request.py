@@ -25,6 +25,10 @@ class RequestStatus(enum.Enum):
     SERVED = "served"
     CACHE_HIT = "cache_hit"
     REJECTED = "rejected"
+    #: Deadline expired while queued; dropped before dispatch.
+    TIMED_OUT = "timed_out"
+    #: Dispatch failed permanently (retries exhausted or breaker open).
+    FAILED = "failed"
 
 
 @dataclass(frozen=True, eq=False)
@@ -36,11 +40,17 @@ class QueryRequest:
         queries: ``(m, d)`` query matrix — ``m`` is usually 1, but a
             client may bundle a few queries into one request.
         arrival_seconds: Simulated arrival time.
+        deadline_seconds: Optional per-request deadline, *relative* to
+            arrival.  A request still queued past its deadline is
+            dropped (``TIMED_OUT``); one completing late is served but
+            marked ``deadline_missed``.  ``None`` defers to the
+            engine's default deadline, if any.
     """
 
     request_id: int
     queries: np.ndarray
     arrival_seconds: float
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         queries = np.asarray(self.queries)
@@ -57,6 +67,11 @@ class QueryRequest:
             raise ServeError(
                 f"request {self.request_id}: arrival_seconds must be "
                 f">= 0, got {self.arrival_seconds}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ServeError(
+                f"request {self.request_id}: deadline_seconds must be "
+                f"positive, got {self.deadline_seconds}"
             )
 
     @property
@@ -81,6 +96,13 @@ class RequestOutcome:
         compute_seconds: Time from batch start to batch completion.
         batch_index: Index of the dispatched batch that served it, or
             ``-1`` for cache hits and rejections.
+        degraded_tier: Quality tier the request was served at — ``0``
+            is full quality; higher tiers searched with a shrunken
+            candidate pool under the admission governor and are
+            *explicitly marked* as such (never silently degraded).
+        deadline_missed: Served, but after the request's deadline.
+        n_retries: Dispatch re-executions the serving batch survived.
+        detail: Failure reason for ``FAILED``/``TIMED_OUT`` outcomes.
     """
 
     request_id: int
@@ -92,6 +114,10 @@ class RequestOutcome:
     queue_seconds: float = 0.0
     compute_seconds: float = 0.0
     batch_index: int = -1
+    degraded_tier: int = 0
+    deadline_missed: bool = False
+    n_retries: int = 0
+    detail: str = ""
 
     @property
     def latency_seconds(self) -> float:
@@ -100,5 +126,11 @@ class RequestOutcome:
 
     @property
     def served(self) -> bool:
-        """True unless the request was rejected."""
-        return self.status is not RequestStatus.REJECTED
+        """True when results were delivered (full quality or degraded)."""
+        return self.status in (RequestStatus.SERVED,
+                               RequestStatus.CACHE_HIT)
+
+    @property
+    def degraded(self) -> bool:
+        """True when served below the full-quality tier."""
+        return self.served and self.degraded_tier > 0

@@ -79,3 +79,73 @@ class TestCommands:
                      "-o", index_path])
         assert code == 0
         assert os.path.exists(index_path)
+
+
+class TestErrorHandling:
+    """Library errors surface as one stderr line and exit code 2."""
+
+    def test_serve_sim_bad_l_n_exits_2_with_one_line(self, capsys):
+        code = main(["serve-sim", "sift1m", "--points", "400",
+                     "--queries", "30", "--requests", "100",
+                     "--l-n", "63"])  # not a power of two
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro serve-sim: error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_serve_sim_bad_dataset_exits_2(self, capsys):
+        code = main(["serve-sim", "no-such-dataset", "--requests", "10"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "repro serve-sim: error:" in err
+
+    def test_chaos_sim_bad_breaker_threshold_exits_2(self, capsys):
+        code = main(["chaos-sim", "sift1m", "--points", "400",
+                     "--queries", "30", "--requests", "100",
+                     "--breaker-threshold", "0"])
+        assert code == 2
+        assert "repro chaos-sim: error:" in capsys.readouterr().err
+
+    def test_unknown_fault_plan_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos-sim", "--fault-plan",
+                                       "apocalypse"])
+
+
+class TestChaosSim:
+    def test_chaos_sim_smoke(self, capsys):
+        code = main(["chaos-sim", "sift1m", "--points", "600",
+                     "--queries", "80", "--requests", "1500",
+                     "--qps", "100000", "--max-batch", "128",
+                     "--max-wait-ms", "0.5", "-k", "5", "--l-n", "32",
+                     "--d-min", "6", "--d-max", "12",
+                     "--fault-plan", "aggressive", "--fault-seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos: plan=aggressive" in out
+        assert "FaultReport" in out
+        assert "scheduled faults delivered" in out
+        assert "report digest" in out
+
+    def test_chaos_sim_digest_is_replay_deterministic(self, capsys):
+        argv = ["chaos-sim", "sift1m", "--points", "500",
+                "--queries", "50", "--requests", "600",
+                "--qps", "100000", "--max-batch", "128",
+                "--max-wait-ms", "0.5", "-k", "5", "--l-n", "32",
+                "--d-min", "6", "--d-max", "12",
+                "--fault-plan", "mild", "--fault-seed", "7"]
+        digests = []
+        for _ in range(2):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            (line,) = [ln for ln in out.splitlines()
+                       if "report digest" in ln]
+            digests.append(line.split()[2])
+        assert digests[0] == digests[1]
+
+    def test_chaos_sim_parser_defaults(self):
+        args = build_parser().parse_args(["chaos-sim"])
+        assert args.fault_plan == "aggressive"
+        assert args.retries == 2
+        assert args.deadline_ms > 0
+        assert not args.no_governor

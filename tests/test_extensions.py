@@ -211,3 +211,81 @@ class TestDistributedConstruction:
             NetworkModel(bandwidth_gbps=0)
         with pytest.raises(ConstructionError):
             NetworkModel(latency_ms=-1)
+
+
+class TestDistributedFailover:
+    def _plan(self, *events, seed=0):
+        from repro.faults import FaultPlan
+        return FaultPlan(events, seed=seed)
+
+    def _loss(self, at=0.1, target=0):
+        from repro.faults import FaultEvent
+        from repro.faults.plan import FAULT_WORKER_LOSS
+        return FaultEvent(kind=FAULT_WORKER_LOSS, at_seconds=at,
+                          target=target)
+
+    def test_worker_loss_costs_time_never_correctness(self, small_points):
+        from repro.extensions.distributed import build_nsw_distributed
+        points = small_points[:200]
+        clean = build_nsw_distributed(points, PARAMS, n_workers=4)
+        failed = build_nsw_distributed(points, PARAMS, n_workers=4,
+                                       fault_plan=self._plan(self._loss()))
+        # The shard is reassigned and re-executed: same graph, more time.
+        assert failed.graph.edge_set() == clean.graph.edge_set()
+        assert failed.seconds > clean.seconds
+        assert failed.phase_seconds["failover"] > 0
+        assert failed.details["n_worker_losses"] == 1.0
+        assert failed.seconds == pytest.approx(
+            clean.seconds + failed.details["failover_seconds"])
+
+    def test_each_loss_adds_failover_cost(self, small_points):
+        from repro.extensions.distributed import build_nsw_distributed
+        points = small_points[:200]
+        one = build_nsw_distributed(points, PARAMS, n_workers=4,
+                                    fault_plan=self._plan(self._loss()))
+        two = build_nsw_distributed(
+            points, PARAMS, n_workers=4,
+            fault_plan=self._plan(self._loss(0.1, 0),
+                                  self._loss(0.2, 1)))
+        assert two.details["n_worker_losses"] == 2.0
+        assert two.details["failover_seconds"] > \
+            one.details["failover_seconds"]
+
+    def test_losing_every_worker_raises(self, small_points):
+        from repro.extensions.distributed import build_nsw_distributed
+        plan = self._plan(*[self._loss(0.1 * (i + 1), i)
+                            for i in range(2)])
+        with pytest.raises(ConstructionError, match="all 2 workers"):
+            build_nsw_distributed(small_points[:100], PARAMS,
+                                  n_workers=2, fault_plan=plan)
+
+    def test_partition_stalls_communication(self, small_points):
+        from repro.extensions.distributed import build_nsw_distributed
+        from repro.faults import FaultEvent
+        from repro.faults.plan import FAULT_NETWORK_PARTITION
+        points = small_points[:200]
+        clean = build_nsw_distributed(points, PARAMS, n_workers=4)
+        plan = self._plan(FaultEvent(kind=FAULT_NETWORK_PARTITION,
+                                     at_seconds=0.05, magnitude=0.25))
+        parted = build_nsw_distributed(points, PARAMS, n_workers=4,
+                                       fault_plan=plan)
+        assert parted.graph.edge_set() == clean.graph.edge_set()
+        assert parted.details["partition_seconds"] == \
+            pytest.approx(0.25)
+        assert parted.phase_seconds["communication"] == pytest.approx(
+            clean.phase_seconds["communication"] + 0.25)
+        assert parted.seconds == pytest.approx(clean.seconds + 0.25)
+
+    def test_kernel_scope_events_ignored_by_the_cluster(self,
+                                                       small_points):
+        from repro.extensions.distributed import build_nsw_distributed
+        from repro.faults import FaultEvent
+        from repro.faults.plan import FAULT_KERNEL_TIMEOUT
+        points = small_points[:150]
+        plan = self._plan(FaultEvent(kind=FAULT_KERNEL_TIMEOUT,
+                                     at_seconds=0.1))
+        clean = build_nsw_distributed(points, PARAMS, n_workers=4)
+        faulted = build_nsw_distributed(points, PARAMS, n_workers=4,
+                                        fault_plan=plan)
+        assert faulted.seconds == pytest.approx(clean.seconds)
+        assert faulted.details["n_worker_losses"] == 0.0

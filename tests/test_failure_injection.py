@@ -41,11 +41,46 @@ class TestCorruptedGraphDetection:
         def degree_overflow(g):
             g.degrees[3] = g.d_max + 1
 
+        def nan_distance(g):
+            g.neighbor_dists[3, 0] = np.nan
+
+        def posinf_distance(g):
+            g.neighbor_dists[3, 0] = np.inf
+
+        def neginf_distance(g):
+            g.neighbor_dists[3, 0] = -np.inf
+
+        def shape_mismatch(g):
+            g.neighbor_ids = g.neighbor_ids[:, :-1].copy()
+
         self._corrupt_and_check(small_graph, out_of_range, "out-of-range")
         self._corrupt_and_check(small_graph, self_loop, "self-loop")
         self._corrupt_and_check(small_graph, unsorted, "sorted")
         self._corrupt_and_check(small_graph, duplicate, "duplicate")
         self._corrupt_and_check(small_graph, degree_overflow, "degree")
+        self._corrupt_and_check(small_graph, nan_distance, "non-finite")
+        self._corrupt_and_check(small_graph, posinf_distance,
+                                "non-finite")
+        self._corrupt_and_check(small_graph, neginf_distance,
+                                "non-finite")
+        self._corrupt_and_check(small_graph, shape_mismatch,
+                                "adjacency arrays")
+
+    def test_nan_in_padding_is_not_flagged(self, small_graph):
+        """Only *live* slots matter: garbage past the degree is padding
+        territory and must not fail validation."""
+        clone = small_graph.copy()
+        vertex = int(np.argmin(clone.degrees))
+        degree = clone.degrees[vertex]
+        assert degree < clone.d_max
+        clone.neighbor_dists[vertex, degree:] = np.nan
+        validate_graph(clone)
+
+    def test_nan_distance_names_vertex_and_slot(self, small_graph):
+        clone = small_graph.copy()
+        clone.neighbor_dists[7, 1] = np.nan
+        with pytest.raises(GraphError, match=r"vertex 7.*slot 1"):
+            validate_graph(clone)
 
     def test_wrong_distance_values_detected(self, small_graph,
                                             small_points):

@@ -22,18 +22,22 @@ class TestTopLevelExports:
         assert issubclass(repro.ConstructionError, repro.ReproError)
         assert issubclass(repro.DatasetError, repro.ReproError)
         assert issubclass(repro.DeviceError, repro.ReproError)
+        assert issubclass(repro.FaultError, repro.ReproError)
+        assert issubclass(repro.KernelTimeoutError, repro.FaultError)
+        assert issubclass(repro.MemoryFaultError, repro.FaultError)
+        assert issubclass(repro.DeviceMemoryError, repro.FaultError)
 
     @pytest.mark.parametrize("module", [
         "repro.core", "repro.baselines", "repro.gpusim", "repro.graphs",
         "repro.datasets", "repro.metrics", "repro.bench",
-        "repro.extensions", "repro.cli",
+        "repro.extensions", "repro.cli", "repro.serve", "repro.faults",
     ])
     def test_subpackages_import(self, module):
         importlib.import_module(module)
 
     @pytest.mark.parametrize("module", [
         "repro.core", "repro.baselines", "repro.gpusim", "repro.bench",
-        "repro.extensions",
+        "repro.extensions", "repro.serve", "repro.faults",
     ])
     def test_subpackage_alls_resolve(self, module):
         mod = importlib.import_module(module)

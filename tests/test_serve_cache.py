@@ -115,6 +115,61 @@ class TestLruEviction:
         assert cache.stats.evictions == 0
 
 
+class TestCacheStatsSurfacedInServeReport:
+    def _engine_and_trace(self, graph, points, cache):
+        """Two spaced single-query requests landing in one cache bucket."""
+        from repro.serve import BatchPolicy, QueryRequest, ServeEngine
+
+        engine = ServeEngine(
+            graph, points, SearchParams(k=5, l_n=32),
+            policy=BatchPolicy(max_batch=64, max_wait_seconds=1e-4,
+                               max_queue=256),
+            cache=cache)
+        a = points[0].copy()
+        b = a + 0.004  # same bucket at decimals=1, different vector
+        trace = [QueryRequest(request_id=0, queries=a[None, :],
+                              arrival_seconds=0.0),
+                 QueryRequest(request_id=1, queries=b[None, :],
+                              arrival_seconds=10e-3)]
+        return engine, trace
+
+    def test_collision_rejects_counted_through_the_report(
+            self, small_graph, small_points):
+        cache = ResultCache(capacity=64, decimals=1)
+        engine, trace = self._engine_and_trace(small_graph, small_points,
+                                               cache)
+        assert quantize_query(trace[0].queries[0], 1) == \
+            quantize_query(trace[1].queries[0], 1)
+        report = engine.replay(trace)
+
+        # The colliding lookup must recompute, never serve the cached
+        # neighbor list of a different vector — and the reject must be
+        # visible in the report's cache statistics.
+        assert report.n_cache_hits == 0
+        assert report.cache_stats is cache.stats
+        assert report.cache_stats.collisions >= 1
+        assert report.cache_stats.insertions >= 2
+        assert "collision-rejects" in report.summary()
+
+    def test_exact_repeat_still_hits_and_counts(self, small_graph,
+                                                small_points):
+        from repro.serve import QueryRequest
+
+        cache = ResultCache(capacity=64, decimals=1)
+        engine, trace = self._engine_and_trace(small_graph, small_points,
+                                               cache)
+        # The bucket's current occupant is the *latest* insertion
+        # (request 1's vector displaced request 0's), so only an exact
+        # repeat of that vector hits.
+        repeat = QueryRequest(request_id=2,
+                              queries=trace[1].queries.copy(),
+                              arrival_seconds=20e-3)
+        report = engine.replay(trace + [repeat])
+        assert report.n_cache_hits == 1
+        assert report.cache_stats.hits >= 1
+        assert "hits" in report.summary()
+
+
 class TestCollisionSafety:
     def test_bucket_collision_is_never_served(self):
         """Two distinct vectors in one quantization bucket: the second

@@ -1,0 +1,149 @@
+"""Chaos acceptance tests: no silent wrong answers, degradation wins.
+
+Two end-to-end properties of the fault-tolerant serving stack:
+
+1. **No silently wrong results.**  A >= 5,000-request trace replayed
+   under an aggressive fault plan must answer every served request
+   byte-identically to a direct :func:`ganns_search` at the tier it was
+   served at — full-quality answers match tier 0 exactly, degraded
+   answers match their (explicitly marked) tier exactly, and everything
+   else is an explicit failure/timeout/rejection.  Faults may cost
+   time or answers, never correctness.
+2. **Graceful degradation beats rejection.**  Under a sustained
+   overload, the governor-enabled engine completes a strictly higher
+   fraction of requests than the reject-only baseline, and the recall
+   it trades away is visible per tier rather than hidden.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ganns import ganns_search
+from repro.core.params import SearchParams
+from repro.datasets.ground_truth import exact_knn
+from repro.datasets.synthetic import gaussian_mixture
+from repro.faults import AdmissionGovernor, RetryPolicy, named_fault_plan
+from repro.metrics.recall import recall_at_k
+from repro.serve import BatchPolicy, ResultCache, ServeEngine, synthetic_trace
+from repro.serve.request import RequestStatus
+
+N_REQUESTS = 5000
+PARAMS = SearchParams(k=10, l_n=64)
+
+TERMINAL_STATUSES = {RequestStatus.SERVED, RequestStatus.CACHE_HIT,
+                     RequestStatus.REJECTED, RequestStatus.TIMED_OUT,
+                     RequestStatus.FAILED}
+
+
+@pytest.fixture(scope="module")
+def query_pool():
+    """2000 distinct queries from the test-fixture distribution."""
+    return gaussian_mixture(2000, 24, n_clusters=8, cluster_std=0.3,
+                            intrinsic_dim=8, seed=11)
+
+
+class TestAggressiveChaosNeverLies:
+    def test_every_answer_is_exact_at_its_tier_or_explicitly_failed(
+            self, small_graph, small_points, query_pool):
+        governor = AdmissionGovernor.default_for(PARAMS)
+        mean_qps = 400_000.0
+        plan = named_fault_plan(
+            "aggressive", horizon_seconds=2.0 * N_REQUESTS / mean_qps,
+            seed=29)
+        engine = ServeEngine(
+            small_graph, small_points, PARAMS,
+            policy=BatchPolicy(max_batch=128, max_wait_seconds=5e-4,
+                               max_queue=1024),
+            cache=ResultCache(capacity=2048),
+            faults=plan, governor=governor,
+            retry=RetryPolicy(max_retries=1),
+            default_deadline_seconds=10e-3)
+        trace = synthetic_trace(query_pool, N_REQUESTS,
+                                mean_qps=mean_qps, repeat_fraction=0.3,
+                                seed=17)
+        report = engine.replay(trace)
+
+        # The chaos actually happened.
+        fr = report.fault_report
+        assert fr.n_injected > 0
+        assert fr.n_fatal > 0
+        assert report.n_degraded > 0
+
+        # Direct per-tier reference answers over the whole pool: batch
+        # composition is pure plumbing, so every served request must
+        # reproduce its pool row at its tier, byte for byte.
+        pool_row = {query_pool[i].tobytes(): i
+                    for i in range(len(query_pool))}
+        direct = {
+            tier: ganns_search(small_graph, small_points, query_pool,
+                               governor.params_for(tier, PARAMS))
+            for tier in range(governor.n_tiers)
+        }
+
+        silently_wrong = 0
+        unserved = 0
+        for req in trace:
+            outcome = report.outcomes[req.request_id]
+            assert outcome.status in TERMINAL_STATUSES
+            if not outcome.served:
+                unserved += 1
+                assert outcome.ids is None and outcome.dists is None
+                if outcome.status in (RequestStatus.FAILED,
+                                      RequestStatus.TIMED_OUT):
+                    assert outcome.detail  # explicit reason, never blank
+                continue
+            row = pool_row[req.queries[0].tobytes()]
+            ref = direct[outcome.degraded_tier]
+            if not (np.array_equal(outcome.ids[0], ref.ids[row])
+                    and np.array_equal(outcome.dists[0],
+                                       ref.dists[row])):
+                silently_wrong += 1
+        assert silently_wrong == 0
+        # The plan is aggressive enough that some requests fail, and
+        # the stack survivable enough that most are still served.
+        assert 0 < unserved < N_REQUESTS // 2
+        assert report.n_served + report.n_rejected + report.n_failed \
+            + report.n_timed_out == N_REQUESTS
+
+
+class TestDegradationBeatsRejection:
+    def test_governor_completes_more_than_reject_only_baseline(
+            self, small_graph, small_points, query_pool):
+        mean_qps = 1_000_000.0  # sustained overload
+        policy = BatchPolicy(max_batch=128, max_wait_seconds=5e-4,
+                             max_queue=256)
+        plan = named_fault_plan(
+            "mild", horizon_seconds=2.0 * 3000 / mean_qps, seed=3)
+        trace = synthetic_trace(query_pool, 3000, mean_qps=mean_qps,
+                                repeat_fraction=0.1, seed=7)
+
+        governor = AdmissionGovernor.default_for(PARAMS)
+        reports = {}
+        for name, gov in (("governed", governor), ("reject_only", None)):
+            engine = ServeEngine(small_graph, small_points, PARAMS,
+                                 policy=policy, faults=plan,
+                                 governor=gov)
+            reports[name] = engine.replay(trace)
+
+        governed = reports["governed"]
+        baseline = reports["reject_only"]
+        assert governed.completion_rate > baseline.completion_rate
+        assert governed.n_rejected < baseline.n_rejected
+        assert baseline.n_degraded == 0  # reject-only never degrades
+        assert governed.n_degraded > 0
+
+        # Per-tier recall is reported, and degrading is a quality
+        # trade, not a correctness loss: every tier still recalls well
+        # above chance, ordered by pool size.
+        truth = exact_knn(small_points, query_pool, PARAMS.k)
+        per_tier_recall = {}
+        for tier in sorted(governed.per_tier_counts()):
+            tier_params = governor.params_for(tier, PARAMS)
+            found = ganns_search(small_graph, small_points, query_pool,
+                                 tier_params)
+            per_tier_recall[tier] = recall_at_k(found.ids, truth)
+        assert len(per_tier_recall) >= 2  # multiple tiers actually used
+        recalls = [per_tier_recall[t] for t in sorted(per_tier_recall)]
+        assert all(r > 0.3 for r in recalls)
+        assert recalls[0] == max(recalls)
+        assert recalls[0] > recalls[-1]  # degradation is a real trade

@@ -1,0 +1,97 @@
+"""Property test: the micro-batch scheduler never starves a request.
+
+The scheduler's contract is that ``max_wait_seconds`` bounds queueing:
+whatever the arrival pattern — adversarial bursts, long lulls, oversized
+requests — every admitted request's batch flushes within ``max_wait`` of
+that request's arrival on the simulated clock.  Starvation (a request
+stuck behind endless fresh arrivals) would break tail latency silently,
+so the bound is checked here against hypothesis-generated traffic.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import BatchPolicy, MicroBatchScheduler, QueryRequest
+
+
+def arrival_patterns():
+    """Adversarial arrival sequences: (gap_microseconds, n_queries).
+
+    Gaps of 0 form bursts; occasional huge gaps leave a lone request
+    waiting on the deadline; query counts above ``max_batch`` force the
+    oversized-request path.
+    """
+    return st.lists(
+        st.tuples(
+            st.one_of(st.just(0), st.integers(0, 50),
+                      st.integers(2000, 50_000)),
+            st.integers(1, 40),
+        ),
+        min_size=1, max_size=80)
+
+
+def _drive(scheduler, pattern):
+    """Run one pattern through the scheduler; return (batches, requests)."""
+    batches = []
+    requests = []
+    now = 0.0
+    for i, (gap_us, n_queries) in enumerate(pattern):
+        now += gap_us * 1e-6
+        req = QueryRequest(request_id=i,
+                           queries=np.zeros((n_queries, 4)),
+                           arrival_seconds=now)
+        requests.append(req)
+        batches.extend(scheduler.poll(now))
+        batches.extend(scheduler.submit(req, now))
+    batches.extend(scheduler.drain())
+    return batches, requests
+
+
+class TestNoStarvation:
+    @given(arrival_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_every_request_flushes_within_max_wait(self, pattern):
+        policy = BatchPolicy(max_batch=32, max_wait_seconds=1e-3,
+                             max_queue=4096)
+        batches, requests = _drive(MicroBatchScheduler(policy), pattern)
+
+        flushed = [req for batch in batches for req in batch.requests]
+        assert len(flushed) == len(requests)  # nothing lost or dropped
+        for batch in batches:
+            for req in batch.requests:
+                wait = batch.flush_seconds - req.arrival_seconds
+                assert wait <= policy.max_wait_seconds + 1e-12, (
+                    f"request {req.request_id} waited {wait} "
+                    f"(> {policy.max_wait_seconds}) for batch "
+                    f"{batch.index} ({batch.trigger})"
+                )
+
+    @given(arrival_patterns())
+    @settings(max_examples=40, deadline=None)
+    def test_fifo_and_size_bound_hold_under_bursts(self, pattern):
+        policy = BatchPolicy(max_batch=32, max_wait_seconds=1e-3,
+                             max_queue=4096)
+        batches, _ = _drive(MicroBatchScheduler(policy), pattern)
+
+        order = [req.request_id for batch in batches
+                 for req in batch.requests]
+        assert order == sorted(order)  # globally FIFO
+        for batch in batches:
+            # A batch only exceeds max_batch when a single oversized
+            # request forms it alone (requests are never split).
+            if batch.n_queries > policy.max_batch:
+                assert batch.n_requests == 1
+
+    def test_worst_case_burst_then_silence(self):
+        """A burst that nearly fills a batch followed by silence must
+        still flush at the deadline, not wait for traffic."""
+        policy = BatchPolicy(max_batch=1000, max_wait_seconds=1e-3,
+                             max_queue=4096)
+        scheduler = MicroBatchScheduler(policy)
+        burst = [(0, 10)] * 50  # 500 queries, below the size trigger
+        batches, requests = _drive(scheduler, burst)
+        assert len(batches) == 1
+        (batch,) = batches
+        assert batch.flush_seconds == \
+            requests[0].arrival_seconds + policy.max_wait_seconds
