@@ -1,0 +1,84 @@
+"""CI gate for the trace smoke: the emitted trace is the real thing.
+
+Usage::
+
+    python -m repro trace --seed 0 --requests 200 ... \
+        --output trace.json --chrome-output trace_chrome.json
+    python scripts/check_trace_smoke.py trace.json trace_chrome.json
+
+Checks, in order:
+
+1. The span trace parses (``SpanTracer.from_json_bytes``), which
+   already rejects open spans, and passes the production
+   well-formedness guard (``SpanTracer.validate``).
+2. The structural skeleton is present: exactly one ``serve.replay``
+   root, at least one ``request`` span and one ``batch`` span.
+3. Fault-tolerance incidents were actually traced: at least one
+   fault-tolerance span event (``fault`` / ``deadline_drop`` /
+   ``breaker_open`` / ``degrade``) exists — and because events can only
+   be stamped inside a recorded span's interval, every one of them is
+   attached to a span by construction (validate re-checks the interval
+   containment).
+4. The Chrome export parses under the exporter's own validator
+   (``parse_chrome_trace``): matched B/E pairs per thread,
+   non-decreasing timestamps, instants inside open spans.
+
+Exit code 0 when all hold, non-zero otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+
+FAULT_EVENT_NAMES = {"fault", "deadline_drop", "breaker_open",
+                     "degrade"}
+
+
+def main(argv) -> int:
+    from repro.observability import SpanTracer, parse_chrome_trace
+
+    if len(argv) != 2:
+        raise SystemExit(
+            "usage: check_trace_smoke.py <trace.json> <chrome.json>")
+    trace_path, chrome_path = argv
+
+    with open(trace_path, "rb") as handle:
+        tracer = SpanTracer.from_json_bytes(handle.read())
+    tracer.validate()
+    print(f"{trace_path}: {len(tracer.spans)} spans, 0 open, "
+          f"well-formed")
+
+    roots = tracer.roots()
+    if len(roots) != 1 or roots[0].name != "serve.replay":
+        raise SystemExit(
+            f"{trace_path}: expected one serve.replay root, got "
+            f"{[r.name for r in roots]}")
+    if not tracer.find("request") or not tracer.find("batch"):
+        raise SystemExit(
+            f"{trace_path}: missing request/batch spans — the replay "
+            f"traced nothing")
+
+    incidents = [
+        (span.span_id, event.name)
+        for span in tracer.spans for event in span.events
+        if event.name in FAULT_EVENT_NAMES]
+    if not incidents:
+        raise SystemExit(
+            f"{trace_path}: no fault-tolerance span events — the "
+            f"chaos smoke exercised nothing")
+    print(f"{trace_path}: {len(incidents)} fault-tolerance events, "
+          f"all attached to spans")
+
+    with open(chrome_path, "rb") as handle:
+        events = parse_chrome_trace(handle.read())
+    n_pairs = sum(1 for e in events if e["ph"] == "B")
+    if n_pairs != len(tracer.spans):
+        raise SystemExit(
+            f"{chrome_path}: {n_pairs} B events for "
+            f"{len(tracer.spans)} spans")
+    print(f"{chrome_path}: {len(events)} events, Chrome-loadable")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

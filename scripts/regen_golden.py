@@ -1,0 +1,51 @@
+"""Regenerate committed golden artifacts under ``tests/data/``.
+
+Golden files pin byte-for-byte determinism claims; regenerating one is
+a *conscious* act that must be called out in the commit message.  Each
+artifact has its own flag so an intentional format change regenerates
+exactly the goldens it invalidates:
+
+    PYTHONPATH=src python scripts/regen_golden.py --trace
+
+``--trace`` rewrites ``tests/data/trace_golden.json.gz`` — the frozen
+chaos-serving scenario of ``tests/test_trace_golden.py``, gzip-packed
+with ``mtime=0`` so the archive bytes themselves are reproducible.
+(The GANNS search golden has its own legacy path:
+``PYTHONPATH=src python tests/test_golden_determinism.py
+--regenerate``.)
+"""
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, REPO_ROOT)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def regen_trace() -> None:
+    from tests.test_trace_golden import (
+        GOLDEN_PATH,
+        compute_golden_trace,
+        write_golden,
+    )
+    payload = compute_golden_trace()
+    write_golden(payload)
+    print(f"wrote {GOLDEN_PATH} ({len(payload):,} bytes uncompressed)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate committed golden artifacts")
+    parser.add_argument("--trace", action="store_true",
+                        help="regenerate tests/data/trace_golden.json.gz")
+    args = parser.parse_args(argv)
+    if not args.trace:
+        parser.error("nothing selected; pass --trace")
+    regen_trace()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,10 @@ Commands:
 - ``chaos-sim`` — replay a trace under a named fault plan with the
   full fault-tolerance stack (deadlines, retries, circuit breaker,
   graceful degradation) and print the merged serve/fault report.
+- ``trace`` — a chaos replay with the observability layer armed: every
+  request, batch, attempt and fault becomes a span on the simulated
+  clock, written as byte-deterministic JSON (optionally also as a
+  Chrome ``trace_event`` file for chrome://tracing).
 
 Any :class:`repro.errors.ReproError` a command raises is reported as a
 one-line message on stderr with exit code 2 — never a traceback.
@@ -189,12 +193,13 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_chaos_sim(args: argparse.Namespace) -> int:
+def _chaos_engine(args: argparse.Namespace, dataset, graph, params,
+                  policy, cache):
+    """Fault plan + fully armed engine from the chaos argument block."""
     from repro.faults import (AdmissionGovernor, BreakerPolicy,
                               RetryPolicy, named_fault_plan)
     from repro.serve import ServeEngine
 
-    dataset, graph, params, policy, cache, trace = _serve_fixture(args)
     # Cover the whole trace (plus quiescence tail) with the plan.
     horizon = 2.0 * args.requests / args.qps
     plan = named_fault_plan(args.fault_plan, horizon_seconds=horizon,
@@ -213,6 +218,13 @@ def _cmd_chaos_sim(args: argparse.Namespace) -> int:
         governor=governor,
         default_deadline_seconds=(args.deadline_ms * 1e-3
                                   if args.deadline_ms > 0 else None))
+    return plan, engine
+
+
+def _cmd_chaos_sim(args: argparse.Namespace) -> int:
+    dataset, graph, params, policy, cache, trace = _serve_fixture(args)
+    plan, engine = _chaos_engine(args, dataset, graph, params, policy,
+                                 cache)
     print(f"  chaos: plan={args.fault_plan} "
           f"({len(plan)} scheduled events, seed={args.fault_seed}), "
           f"retries={args.retries}, "
@@ -224,6 +236,45 @@ def _cmd_chaos_sim(args: argparse.Namespace) -> int:
     print(report.summary())
     print(f"  report digest {report.digest()[:16]} "
           f"(replay-deterministic)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.observability import (MetricsRegistry, SpanTracer,
+                                     export_chrome_trace_bytes,
+                                     parse_chrome_trace)
+
+    dataset, graph, params, policy, cache, trace = _serve_fixture(args)
+    plan, engine = _chaos_engine(args, dataset, graph, params, policy,
+                                 cache)
+    print(f"  chaos: plan={args.fault_plan} "
+          f"({len(plan)} scheduled events, seed={args.fault_seed})")
+    tracer = SpanTracer()
+    metrics = MetricsRegistry()
+    report = engine.replay(trace, tracer=tracer, metrics=metrics)
+    tracer.finish()
+    tracer.validate()
+    report.verify_against_metrics()
+    if report.fault_report is not None:
+        report.fault_report.verify_against_metrics(metrics)
+    payload = tracer.to_json_bytes()
+    Path(args.output).write_bytes(payload)
+    print(f"wrote {args.output} ({len(payload):,} bytes, "
+          f"{len(tracer.spans)} spans)")
+    if args.chrome_output:
+        chrome = export_chrome_trace_bytes(tracer)
+        parse_chrome_trace(chrome)  # exporter self-check before writing
+        Path(args.chrome_output).write_bytes(chrome)
+        print(f"wrote {args.chrome_output} ({len(chrome):,} bytes; "
+              f"load via chrome://tracing or https://ui.perfetto.dev)")
+    print(report.summary())
+    print(tracer.tree_summary())
+    print("metrics:")
+    print(metrics.summary())
+    print(f"  trace digest {tracer.digest()[:16]} "
+          f"(byte-deterministic)")
     return 0
 
 
@@ -337,34 +388,54 @@ def build_parser() -> argparse.ArgumentParser:
 
     from repro.faults.plan import fault_plan_names
 
+    def _add_chaos_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--fault-plan", choices=fault_plan_names(),
+                            default="aggressive",
+                            help="named chaos recipe "
+                                 "(default aggressive)")
+        parser.add_argument("--fault-seed", type=int, default=0,
+                            help="fault plan seed (default 0)")
+        parser.add_argument("--retries", type=int, default=2,
+                            help="retry attempts per failed dispatch "
+                                 "(default 2)")
+        parser.add_argument("--backoff-ms", type=float, default=0.2,
+                            help="base retry backoff in ms "
+                                 "(default 0.2)")
+        parser.add_argument("--backoff-cap-ms", type=float, default=2.0,
+                            help="retry backoff cap in ms "
+                                 "(default 2.0)")
+        parser.add_argument("--breaker-threshold", type=int, default=3,
+                            help="consecutive failures tripping the "
+                                 "breaker (default 3)")
+        parser.add_argument("--breaker-cooldown-ms", type=float,
+                            default=2.0,
+                            help="breaker open time in ms (default 2.0)")
+        parser.add_argument("--deadline-ms", type=float, default=20.0,
+                            help="per-request deadline in ms; 0 "
+                                 "disables (default 20)")
+        parser.add_argument("--no-governor", action="store_true",
+                            help="disable graceful degradation "
+                                 "(reject-only baseline)")
+
     chaos = sub.add_parser(
         "chaos-sim",
         help="replay a trace under an injected fault plan with the "
              "fault-tolerance stack engaged")
     _add_serving_arguments(chaos)
-    chaos.add_argument("--fault-plan", choices=fault_plan_names(),
-                       default="aggressive",
-                       help="named chaos recipe (default aggressive)")
-    chaos.add_argument("--fault-seed", type=int, default=0,
-                       help="fault plan seed (default 0)")
-    chaos.add_argument("--retries", type=int, default=2,
-                       help="retry attempts per failed dispatch "
-                            "(default 2)")
-    chaos.add_argument("--backoff-ms", type=float, default=0.2,
-                       help="base retry backoff in ms (default 0.2)")
-    chaos.add_argument("--backoff-cap-ms", type=float, default=2.0,
-                       help="retry backoff cap in ms (default 2.0)")
-    chaos.add_argument("--breaker-threshold", type=int, default=3,
-                       help="consecutive failures tripping the breaker "
-                            "(default 3)")
-    chaos.add_argument("--breaker-cooldown-ms", type=float, default=2.0,
-                       help="breaker open time in ms (default 2.0)")
-    chaos.add_argument("--deadline-ms", type=float, default=20.0,
-                       help="per-request deadline in ms; 0 disables "
-                            "(default 20)")
-    chaos.add_argument("--no-governor", action="store_true",
-                       help="disable graceful degradation (reject-only "
-                            "baseline)")
+    _add_chaos_arguments(chaos)
+
+    trace = sub.add_parser(
+        "trace",
+        help="replay a chaos trace with the observability layer armed "
+             "and write a byte-deterministic span trace")
+    _add_serving_arguments(trace)
+    _add_chaos_arguments(trace)
+    trace.add_argument("--output", default="trace.json",
+                       help="span trace output path "
+                            "(default trace.json)")
+    trace.add_argument("--chrome-output", default=None,
+                       help="also write a Chrome trace_event file "
+                            "loadable in chrome://tracing")
     return parser
 
 
@@ -386,6 +457,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "device": _cmd_device,
         "serve-sim": _cmd_serve_sim,
         "chaos-sim": _cmd_chaos_sim,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

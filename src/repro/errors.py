@@ -67,6 +67,16 @@ class OverloadError(ServeError):
     """
 
 
+class ObservabilityError(ReproError):
+    """The observability layer was misused, or a trace is malformed.
+
+    Examples: closing a span that is not open, a span tree whose child
+    interval escapes its parent, a Chrome trace export whose B/E pairs
+    do not match, or an attribute value that cannot be serialized
+    deterministically.
+    """
+
+
 class FaultError(ReproError):
     """An injected (simulated) hardware or infrastructure fault fired.
 

@@ -37,6 +37,8 @@ from repro.faults.plan import (
     FAULT_WORKER_LOSS,
     FaultPlan,
 )
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.span import SpanTracer
 
 
 @dataclass(frozen=True)
@@ -93,7 +95,9 @@ def build_nsw_distributed(points: np.ndarray, params: BuildParams,
                           network: NetworkModel = NetworkModel(),
                           cpu: CpuModel = DEFAULT_CPU,
                           exact: bool = False,
-                          fault_plan: Optional[FaultPlan] = None
+                          fault_plan: Optional[FaultPlan] = None,
+                          tracer: Optional[SpanTracer] = None,
+                          metrics: Optional[MetricsRegistry] = None
                           ) -> ConstructionReport:
     """Build an NSW graph with GGraphCon across cluster workers.
 
@@ -122,6 +126,16 @@ def build_nsw_distributed(points: np.ndarray, params: BuildParams,
         fault_plan: Optional :class:`repro.faults.plan.FaultPlan` whose
             cluster-scope events (worker loss, network partition) are
             applied to the build timeline.
+        tracer: Optional :class:`repro.observability.span.SpanTracer`;
+            when given, the build emits a ``build.distributed`` span on
+            the ``build`` lane with one child per timeline phase
+            (local construction, failover, merge, communication) and
+            attaches every cluster fault as a span event.
+        metrics: Optional
+            :class:`repro.observability.metrics.MetricsRegistry`; the
+            build publishes ``build.*`` counters/gauges (workers,
+            rounds, per-phase seconds, worker losses) that reconcile
+            exactly with the returned report.
 
     Returns:
         A :class:`ConstructionReport` with ``phase_seconds`` split into
@@ -157,6 +171,8 @@ def build_nsw_distributed(points: np.ndarray, params: BuildParams,
     failover_seconds = 0.0
     partition_seconds = 0.0
     n_losses = 0
+    loss_events: List = []
+    partition_events: List = []
     if fault_plan is not None:
         local_seconds = compute.phase_seconds.get("local_construction",
                                                   0.0)
@@ -171,6 +187,7 @@ def build_nsw_distributed(points: np.ndarray, params: BuildParams,
                         f"no survivor can adopt the final shard"
                     )
                 n_losses += 1
+                loss_events.append(event)
                 # Detection (missed heartbeat), shard re-shipment to a
                 # survivor, then serial re-execution of the lost shard.
                 failover_seconds += (
@@ -180,6 +197,7 @@ def build_nsw_distributed(points: np.ndarray, params: BuildParams,
             elif event.kind == FAULT_NETWORK_PARTITION:
                 # Merge rounds block until the partition heals.
                 partition_seconds += event.magnitude
+                partition_events.append(event)
 
     phase_seconds: Dict[str, float] = dict(compute.phase_seconds)
     phase_seconds["communication"] = comm_seconds + partition_seconds
@@ -187,6 +205,65 @@ def build_nsw_distributed(points: np.ndarray, params: BuildParams,
         phase_seconds["failover"] = failover_seconds
     total = (compute.seconds + comm_seconds + failover_seconds
              + partition_seconds)
+
+    local_seconds = compute.phase_seconds.get("local_construction", 0.0)
+    if metrics is not None:
+        metrics.counter("build.builds").inc()
+        metrics.counter("build.workers").inc(n_workers)
+        metrics.counter("build.rounds").inc(n_rounds)
+        metrics.counter("build.points").inc(n)
+        metrics.counter("build.worker_losses").inc(n_losses)
+        metrics.counter("build.comm_seconds").inc(comm_seconds)
+        metrics.counter("build.failover_seconds").inc(failover_seconds)
+        metrics.counter("build.partition_seconds").inc(
+            partition_seconds)
+        for phase, seconds in phase_seconds.items():
+            metrics.counter(f"build.phase_seconds.{phase}").inc(seconds)
+        metrics.gauge("build.total_seconds").set(total)
+    if tracer is not None:
+        # Lay the phases out sequentially on the simulated build
+        # timeline (local shards, then failover recovery, then the
+        # merge compute, then the round communication + any partition
+        # stalls), exactly the additive structure ``total`` sums.
+        root = tracer.begin(
+            "build.distributed", 0.0, lane="build",
+            attributes={"n_workers": n_workers,
+                        "cores_per_worker": cores_per_worker,
+                        "n_points": n, "n_rounds": n_rounds})
+        cursor = 0.0
+        end = cursor + local_seconds
+        tracer.add("build.local_construction", cursor, end,
+                   parent_id=root, lane="build",
+                   attributes={"seconds": local_seconds})
+        cursor = end
+        if fault_plan is not None:
+            end = cursor + failover_seconds
+            span = tracer.add("build.failover", cursor, end,
+                              parent_id=root, lane="build",
+                              attributes={"n_worker_losses": n_losses})
+            for event in loss_events:
+                tracer.event(span, cursor, "worker_loss",
+                             {"kind": event.kind,
+                              "scheduled_seconds": event.at_seconds})
+            cursor = end
+        merge_seconds = max(compute.seconds - local_seconds, 0.0)
+        end = cursor + merge_seconds
+        tracer.add("build.merge", cursor, end, parent_id=root,
+                   lane="build", attributes={"n_rounds": n_rounds})
+        cursor = end
+        end = cursor + comm_seconds + partition_seconds
+        span = tracer.add("build.communication", cursor, end,
+                          parent_id=root, lane="build",
+                          attributes={
+                              "comm_seconds": comm_seconds,
+                              "partition_seconds": partition_seconds})
+        for event in partition_events:
+            tracer.event(span, cursor, "network_partition",
+                         {"kind": event.kind,
+                          "scheduled_seconds": event.at_seconds,
+                          "stall_seconds": event.magnitude})
+        tracer.end(root, end, attributes={"total_seconds": total})
+
     return ConstructionReport(
         algorithm="ggraphcon-distributed",
         graph=compute.graph,

@@ -55,6 +55,11 @@ class FaultInjector:
         """Kernel-scope events not yet delivered."""
         return len(self._pending) - self._cursor
 
+    @property
+    def delivered(self) -> int:
+        """Kernel-scope events consumed so far."""
+        return self._cursor
+
     def poll(self, now: float) -> Optional[FaultEvent]:
         """Consume the earliest event armed at or before ``now``."""
         if self._cursor >= len(self._pending):
@@ -118,7 +123,8 @@ class FaultInjector:
         raise MemoryFaultError(  # pragma: no cover - plan validates kinds
             f"unhandled kernel fault kind {event.kind!r}", kind=event.kind)
 
-    def hook(self, now: float, sink: Optional[list] = None):
+    def hook(self, now: float, sink: Optional[list] = None,
+             metrics=None):
         """A ``fault_hook`` for :func:`repro.core.pipeline.stream_batches`.
 
         Args:
@@ -127,6 +133,12 @@ class FaultInjector:
             sink: Optional list collecting the consumed
                 :class:`FaultEvent` (also populated for survivable
                 faults, which do not raise).
+            metrics: Optional
+                :class:`repro.observability.metrics.MetricsRegistry`;
+                every delivered event increments
+                ``faults.delivered.<kind>`` at the point of delivery,
+                so the registry sees faults even when the raised error
+                is swallowed upstream.
 
         Returns:
             A callable ``(batch_index, timing) -> timing`` that injects
@@ -138,5 +150,7 @@ class FaultInjector:
                 return timing
             if sink is not None:
                 sink.append(event)
+            if metrics is not None:
+                metrics.counter(f"faults.delivered.{event.kind}").inc()
             return self.apply(event, timing)
         return _hook

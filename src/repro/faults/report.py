@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.errors import ObservabilityError
 from repro.faults.policy import BreakerTransition
 
 
@@ -118,6 +119,44 @@ class FaultReport:
         for record in self.injections:
             counts[record.kind] = counts.get(record.kind, 0) + 1
         return counts
+
+    # ------------------------------------------------------------------
+    # Registry view
+    # ------------------------------------------------------------------
+
+    def verify_against_metrics(self, registry) -> None:
+        """Assert this ledger is an exact view over ``registry``.
+
+        The engine publishes every fault-tolerance event into the
+        :class:`repro.observability.metrics.MetricsRegistry` at the
+        moment it appends the matching record here; the two paths are
+        allowed zero drift.  Raises
+        :class:`repro.errors.ObservabilityError` on the first mismatch.
+        """
+        expectations = {
+            "faults.scheduled": self.scheduled_faults,
+            "faults.injected": self.n_injected,
+            "faults.fatal": self.n_fatal,
+            "faults.retries": self.n_retries,
+            "faults.fast_failed": self.fast_failed_requests,
+            "faults.deadline_dropped": self.deadline_dropped_requests,
+            "faults.degraded_batches": self.n_degraded_batches,
+        }
+        for kind, count in self.injected_by_kind().items():
+            expectations[f"faults.delivered.{kind}"] = count
+        states: Dict[str, int] = {}
+        for transition in self.breaker_transitions:
+            states[transition.to_state] = \
+                states.get(transition.to_state, 0) + 1
+        for state, count in states.items():
+            expectations[f"faults.breaker.{state}"] = count
+        for name, expected in expectations.items():
+            actual = registry.value(name, default=0.0)
+            if actual != expected:
+                raise ObservabilityError(
+                    f"fault-ledger/registry drift on {name!r}: ledger "
+                    f"says {expected}, registry says {actual}"
+                )
 
     # ------------------------------------------------------------------
     # Rendering / canonical form

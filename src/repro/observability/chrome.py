@@ -1,0 +1,238 @@
+"""Chrome ``trace_event`` export for simulated-clock span traces.
+
+``chrome://tracing`` / Perfetto's legacy JSON format is the lingua
+franca of timeline visualisation, so every :class:`SpanTracer` trace
+can be exported to it: one ``B``/``E`` duration pair per span, one
+``i`` instant event per span event, one thread (``tid``) per lane.
+
+Export is **structure-driven**, not sort-driven: events are emitted by
+a depth-first walk of each lane's span forest, which guarantees matched
+``B``/``E`` nesting per thread even when several spans share a
+timestamp (zero-width spans, back-to-back batches).  Timestamps are
+simulated seconds scaled to microseconds, the unit the viewer expects.
+
+:func:`parse_chrome_trace` is the exporter's own validator — it
+re-parses an export and checks the contract the viewer relies on
+(valid JSON, matched pairs per thread, non-decreasing timestamps).
+CI's trace-smoke step and the fuzz suite both round-trip through it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+from repro.observability.span import Span, SpanTracer
+
+#: Process id stamped on every event (single simulated process).
+PID = 1
+
+
+def _lane_tids(tracer: SpanTracer) -> Dict[str, int]:
+    """Stable lane -> tid mapping (first-use order, which is
+    deterministic because span ids are)."""
+    tids: Dict[str, int] = {}
+    for span in tracer.spans:
+        if span.lane not in tids:
+            tids[span.lane] = len(tids) + 1
+    return tids
+
+
+def _lane_forest(tracer: SpanTracer,
+                 lane: str) -> List[Span]:
+    """Top-level spans of one lane: spans on the lane none of whose
+    ancestors sit on the same lane."""
+    spans = tracer.spans
+    tops: List[Span] = []
+    for span in spans:
+        if span.lane != lane:
+            continue
+        parent = span.parent_id
+        nested = False
+        while parent is not None:
+            if spans[parent].lane == lane:
+                nested = True
+                break
+            parent = spans[parent].parent_id
+        if not nested:
+            tops.append(span)
+    tops.sort(key=lambda s: (s.start_seconds, s.span_id))
+    return tops
+
+
+def _lane_children(tracer: SpanTracer, span: Span) -> List[Span]:
+    """Descendants of ``span`` on its own lane with no same-lane span
+    between them and ``span`` (the lane-local children)."""
+    out: List[Span] = []
+
+    def walk(parent: Span) -> None:
+        for child in tracer.children_of(parent.span_id):
+            if child.lane == span.lane:
+                out.append(child)
+            else:
+                walk(child)
+
+    walk(span)
+    out.sort(key=lambda s: (s.start_seconds, s.span_id))
+    return out
+
+
+def _span_args(span: Span) -> Dict[str, object]:
+    args: Dict[str, object] = {"span_id": span.span_id}
+    args.update(span.attributes)
+    return args
+
+
+def _emit_span(tracer: SpanTracer, span: Span, tid: int,
+               events: List[Dict[str, object]],
+               inherited: Optional[List] = None) -> None:
+    events.append({"ph": "B", "name": span.name, "pid": PID,
+                   "tid": tid, "ts": span.start_seconds * 1e6,
+                   "args": _span_args(span)})
+    children = _lane_children(tracer, span)
+    # An instant strictly inside a same-lane child's interval must be
+    # emitted *inside* that child's B/E pair or its timestamp would
+    # regress past the child's E; push such instants down.
+    instants = list(span.events) + list(inherited or [])
+    pushdown: Dict[int, List] = {}
+    local: List = []
+    for instant in instants:
+        owner = None
+        for child in children:
+            if (child.start_seconds < instant.seconds
+                    < child.end_seconds):
+                owner = child.span_id
+                break
+        if owner is None:
+            local.append(instant)
+        else:
+            pushdown.setdefault(owner, []).append(instant)
+    # Instants and lane-local children interleave by time; an instant
+    # at a shared timestamp precedes the child opening there.
+    items: List[Tuple[float, int, object]] = []
+    for child in children:
+        items.append((child.start_seconds, 1, child))
+    for instant in local:
+        items.append((instant.seconds, 0, instant))
+    items.sort(key=lambda item: (item[0], item[1]))
+    for _ts, kind, payload in items:
+        if kind == 1:
+            _emit_span(tracer, payload, tid, events,
+                       inherited=pushdown.get(payload.span_id))
+        else:
+            events.append({"ph": "i", "name": payload.name, "pid": PID,
+                           "tid": tid, "ts": payload.seconds * 1e6,
+                           "s": "t",
+                           "args": dict(payload.attributes)})
+    events.append({"ph": "E", "name": span.name, "pid": PID,
+                   "tid": tid, "ts": span.end_seconds * 1e6,
+                   "args": {}})
+
+
+def export_chrome_trace(tracer: SpanTracer) -> Dict[str, object]:
+    """Export a closed trace as a Chrome ``trace_event`` object."""
+    if tracer.n_open:
+        raise ObservabilityError(
+            f"cannot export a trace with {tracer.n_open} open span(s)"
+        )
+    tids = _lane_tids(tracer)
+    events: List[Dict[str, object]] = []
+    for lane, tid in tids.items():
+        events.append({"ph": "M", "name": "thread_name", "pid": PID,
+                       "tid": tid, "ts": 0.0,
+                       "args": {"name": lane}})
+    for lane, tid in tids.items():
+        for top in _lane_forest(tracer, lane):
+            _emit_span(tracer, top, tid, events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace_bytes(tracer: SpanTracer) -> bytes:
+    """Canonical byte encoding of :func:`export_chrome_trace`."""
+    return json.dumps(export_chrome_trace(tracer), sort_keys=True,
+                      separators=(",", ":"),
+                      ensure_ascii=True).encode("ascii")
+
+
+def parse_chrome_trace(payload: bytes) -> List[Dict[str, object]]:
+    """Parse and validate a Chrome trace export.
+
+    Checks the contract the trace viewer depends on:
+
+    - the payload is valid JSON with a ``traceEvents`` list;
+    - every ``B`` has a matching ``E`` with the same name on the same
+      thread, properly nested (stack discipline per ``tid``);
+    - per thread, duration-event timestamps never decrease in emission
+      order (instants must fall inside their enclosing span).
+
+    Returns the event list on success.
+
+    Raises:
+        ObservabilityError: On any violation.
+    """
+    if isinstance(payload, str):
+        payload = payload.encode("utf-8")
+    try:
+        data = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise ObservabilityError(f"malformed Chrome trace: {err}")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise ObservabilityError(
+            "Chrome trace must contain a traceEvents list"
+        )
+    stacks: Dict[int, List[Dict[str, object]]] = {}
+    last_ts: Dict[int, float] = {}
+    for event in events:
+        if not isinstance(event, dict) or "ph" not in event:
+            raise ObservabilityError(
+                f"malformed trace event: {event!r}"
+            )
+        phase = event["ph"]
+        if phase == "M":
+            continue
+        tid = event.get("tid")
+        ts = event.get("ts")
+        if not isinstance(tid, int) or not isinstance(ts, (int, float)):
+            raise ObservabilityError(
+                f"trace event missing tid/ts: {event!r}"
+            )
+        if ts < last_ts.get(tid, float("-inf")):
+            raise ObservabilityError(
+                f"timestamps regress on tid {tid}: {ts} after "
+                f"{last_ts[tid]}"
+            )
+        last_ts[tid] = float(ts)
+        stack = stacks.setdefault(tid, [])
+        if phase == "B":
+            stack.append(event)
+        elif phase == "E":
+            if not stack:
+                raise ObservabilityError(
+                    f"E event with empty stack on tid {tid}: "
+                    f"{event.get('name')!r}"
+                )
+            opener = stack.pop()
+            if opener.get("name") != event.get("name"):
+                raise ObservabilityError(
+                    f"mismatched B/E pair on tid {tid}: "
+                    f"{opener.get('name')!r} closed by "
+                    f"{event.get('name')!r}"
+                )
+        elif phase == "i":
+            if not stack:
+                raise ObservabilityError(
+                    f"instant event outside any span on tid {tid}: "
+                    f"{event.get('name')!r}"
+                )
+        else:
+            raise ObservabilityError(
+                f"unexpected event phase {phase!r}"
+            )
+    for tid, stack in stacks.items():
+        if stack:
+            raise ObservabilityError(
+                f"{len(stack)} unclosed B event(s) on tid {tid}"
+            )
+    return events

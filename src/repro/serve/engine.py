@@ -66,10 +66,44 @@ from repro.faults.report import (
 from repro.graphs.adjacency import ProximityGraph
 from repro.gpusim.costs import CostTable, DEFAULT_COSTS
 from repro.gpusim.device import DeviceSpec, QUADRO_P5000
+from repro.observability.bridge import publish_tracker_totals
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+)
+from repro.observability.span import SpanTracer
 from repro.serve.cache import ResultCache
 from repro.serve.report import ServeReport
 from repro.serve.request import QueryRequest, RequestOutcome, RequestStatus
 from repro.serve.scheduler import Batch, BatchPolicy, MicroBatchScheduler
+
+
+@dataclass(frozen=True)
+class EngineSlots:
+    """The exact engine occupancy of one dispatch attempt.
+
+    The observability layer turns these into ``upload`` / ``compute`` /
+    ``download`` spans on the per-engine lanes; the engine itself only
+    needs :attr:`service_start` and :attr:`completion`.
+    """
+
+    upload_start: float
+    upload_end: float
+    compute_start: float
+    compute_end: float
+    download_start: float = 0.0
+    download_end: float = 0.0
+
+    @property
+    def service_start(self) -> float:
+        """When the attempt first occupied a device engine."""
+        return self.upload_start
+
+    @property
+    def completion(self) -> float:
+        """When the attempt's results finished downloading."""
+        return self.download_end
 
 
 @dataclass
@@ -87,29 +121,37 @@ class _EngineClock:
     download_free: float = 0.0
 
     def schedule(self, ready: float, upload: float, compute: float,
-                 download: float) -> tuple:
-        """Run one batch; returns ``(service_start, completion)``."""
+                 download: float) -> EngineSlots:
+        """Run one batch; returns the attempt's engine occupancy."""
         upload_start = max(ready, self.upload_free)
         self.upload_free = upload_start + upload
-        self.compute_free = max(self.compute_free, self.upload_free) \
-            + compute
-        self.download_free = max(self.download_free, self.compute_free) \
-            + download
-        return upload_start, self.download_free
+        compute_start = max(self.compute_free, self.upload_free)
+        self.compute_free = compute_start + compute
+        download_start = max(self.download_free, self.compute_free)
+        self.download_free = download_start + download
+        return EngineSlots(
+            upload_start=upload_start, upload_end=self.upload_free,
+            compute_start=compute_start, compute_end=self.compute_free,
+            download_start=download_start,
+            download_end=self.download_free)
 
     def charge_failure(self, ready: float, upload: float,
-                       compute: float) -> float:
+                       compute: float) -> EngineSlots:
         """Occupy the upload/compute engines for a *failed* attempt.
 
         Nothing downloads — the attempt died before producing results —
         but the wasted engine time still delays everything behind it.
-        Returns the simulated instant the failure was detected.
+        The failure is detected at ``compute_end``.
         """
         upload_start = max(ready, self.upload_free)
         self.upload_free = upload_start + upload
-        self.compute_free = max(self.compute_free, self.upload_free) \
-            + compute
-        return self.compute_free
+        compute_start = max(self.compute_free, self.upload_free)
+        self.compute_free = compute_start + compute
+        return EngineSlots(
+            upload_start=upload_start, upload_end=self.upload_free,
+            compute_start=compute_start, compute_end=self.compute_free,
+            download_start=self.compute_free,
+            download_end=self.compute_free)
 
 
 class ServeEngine:
@@ -196,11 +238,24 @@ class ServeEngine:
             return None
         return req.arrival_seconds + relative
 
-    def replay(self, trace: Sequence[QueryRequest]) -> ServeReport:
+    def replay(self, trace: Sequence[QueryRequest],
+               tracer: Optional[SpanTracer] = None,
+               metrics: Optional[MetricsRegistry] = None) -> ServeReport:
         """Replay an arrival-ordered trace to quiescence.
 
         Args:
             trace: Requests with non-decreasing ``arrival_seconds``.
+            tracer: Optional :class:`SpanTracer`; when given, the whole
+                replay is traced on the simulated clock (request
+                lifecycles, batch formation, dispatch attempts, engine
+                occupancy, fault/retry/degrade events).  Every span the
+                engine opens is closed before :meth:`replay` returns.
+            metrics: Optional :class:`MetricsRegistry` to publish into;
+                one is created internally when omitted.  Either way the
+                registry is attached to the returned report
+                (``report.metrics``), whose derived properties are
+                views that reconcile with it exactly
+                (:meth:`ServeReport.verify_against_metrics`).
 
         Returns:
             A :class:`ServeReport` holding every request's outcome and,
@@ -224,6 +279,15 @@ class ServeEngine:
         fault_report = FaultReport(
             scheduled_faults=len(self.faults.kernel_events())
             if self.faults is not None else 0)
+        registry = metrics if metrics is not None else MetricsRegistry()
+        registry.counter("faults.scheduled").inc(
+            fault_report.scheduled_faults)
+        latency_hist = registry.histogram("serve.latency_seconds",
+                                          DEFAULT_LATENCY_BUCKETS)
+        queue_hist = registry.histogram("serve.queue_seconds",
+                                        DEFAULT_LATENCY_BUCKETS)
+        size_hist = registry.histogram("serve.batch_size",
+                                       DEFAULT_SIZE_BUCKETS)
         outcomes: List[Optional[RequestOutcome]] = [None] * len(trace)
         positions = {}
         for pos, req in enumerate(trace):
@@ -238,11 +302,54 @@ class ServeEngine:
         batch_triggers: List[str] = []
         in_flight: List[tuple] = []  # (completion_seconds, n_queries)
         gpu_busy = 0.0
+        root_start = trace[0].arrival_seconds if trace else 0.0
+        root_span = (tracer.begin(
+            "serve.replay", root_start, lane="engine",
+            attributes={"n_requests": len(trace)})
+            if tracer is not None else None)
+        request_spans: dict = {}
 
         def finish(req: QueryRequest, **kwargs) -> None:
-            outcomes[positions[id(req)]] = RequestOutcome(
+            outcome = RequestOutcome(
                 request_id=req.request_id,
                 arrival_seconds=req.arrival_seconds, **kwargs)
+            outcomes[positions[id(req)]] = outcome
+            registry.counter(
+                f"serve.outcomes.{outcome.status.value}").inc()
+            if outcome.served:
+                registry.counter("serve.served").inc()
+                registry.counter("serve.queries_served").inc(
+                    req.n_queries)
+                registry.counter(
+                    f"serve.served_tier.{outcome.degraded_tier}").inc()
+                latency_hist.observe(outcome.latency_seconds)
+                queue_hist.observe(outcome.queue_seconds)
+                if outcome.degraded:
+                    registry.counter("serve.degraded").inc()
+                if outcome.deadline_missed:
+                    registry.counter("serve.deadline_missed").inc()
+            span_id = request_spans.pop(id(req), None)
+            if span_id is None:
+                return
+            if outcome.status is RequestStatus.SERVED:
+                service_start = (outcome.arrival_seconds
+                                 + outcome.queue_seconds)
+                tracer.add("request.queue", outcome.arrival_seconds,
+                           service_start, parent_id=span_id)
+                tracer.add("request.compute", service_start,
+                           outcome.completion_seconds,
+                           parent_id=span_id)
+            close_attrs = {
+                "status": outcome.status.value,
+                "batch_index": outcome.batch_index,
+                "tier": outcome.degraded_tier,
+                "n_retries": outcome.n_retries,
+                "deadline_missed": outcome.deadline_missed,
+            }
+            if outcome.detail:
+                close_attrs["detail"] = outcome.detail
+            tracer.end(span_id, outcome.completion_seconds,
+                       attributes=close_attrs)
 
         def fail_batch(live, batch, when, detail) -> None:
             for req in live:
@@ -251,9 +358,49 @@ class ServeEngine:
                        queue_seconds=when - req.arrival_seconds,
                        batch_index=batch.index, detail=detail)
 
+        def record_batch(batch: Batch, n_queries: int) -> None:
+            batch_sizes.append(n_queries)
+            batch_triggers.append(batch.trigger)
+            registry.counter("serve.batches").inc()
+            registry.counter(f"serve.batches.{batch.trigger}").inc()
+            registry.counter("serve.queries_dispatched").inc(n_queries)
+            size_hist.observe(n_queries)
+
+        def attempt_spans(batch_span, ready: float, attempt: int,
+                          slots: EngineSlots, end: float,
+                          failed: bool) -> Optional[int]:
+            """Trace one dispatch attempt's engine occupancy."""
+            if tracer is None:
+                return None
+            span = tracer.begin("attempt", ready, parent_id=batch_span,
+                                attributes={"attempt": attempt})
+            tracer.add("upload", slots.upload_start, slots.upload_end,
+                       parent_id=span, lane="engine/upload")
+            compute_id = tracer.add(
+                "compute", slots.compute_start, slots.compute_end,
+                parent_id=span, lane="engine/compute")
+            if not failed:
+                tracer.add("download", slots.download_start,
+                           slots.download_end, parent_id=span,
+                           lane="engine/download")
+            tracer.end(span, end, attributes={
+                "outcome": "failed" if failed else "ok"})
+            return compute_id
+
         def dispatch(batch: Batch) -> None:
             nonlocal gpu_busy
             now = batch.flush_seconds
+            batch_span = None
+            if tracer is not None:
+                batch_span = tracer.begin(
+                    "batch", batch.open_seconds, parent_id=root_span,
+                    lane_group="batches",
+                    attributes={"batch_index": batch.index,
+                                "trigger": batch.trigger,
+                                "n_requests": batch.n_requests,
+                                "n_queries": batch.n_queries})
+                tracer.add("batch.form", batch.open_seconds, now,
+                           parent_id=batch_span)
 
             # Deadline load-shedding: a request already past its
             # deadline gains nothing from dispatch — drop it before it
@@ -262,22 +409,35 @@ class ServeEngine:
             for req in batch.requests:
                 deadline = self._deadline_of(req)
                 if deadline is not None and deadline <= now:
+                    if batch_span is not None:
+                        tracer.event(batch_span, now, "deadline_drop",
+                                     {"request_id": req.request_id})
                     finish(req, status=RequestStatus.TIMED_OUT,
                            ids=None, dists=None, completion_seconds=now,
                            queue_seconds=now - req.arrival_seconds,
                            batch_index=batch.index,
                            detail="deadline expired while queued")
                     fault_report.deadline_dropped_requests += 1
+                    registry.counter("faults.deadline_dropped").inc()
                 else:
                     live.append(req)
             if not live:
+                if batch_span is not None:
+                    tracer.end(batch_span, now,
+                               attributes={"outcome": "all_dropped"})
                 return
 
             # Circuit breaker: while open, fail fast instead of feeding
             # a dying kernel more work.
             if breaker is not None and not breaker.allow(now):
+                if batch_span is not None:
+                    tracer.event(batch_span, now, "breaker_open")
                 fail_batch(live, batch, now, "circuit breaker open")
                 fault_report.fast_failed_requests += len(live)
+                registry.counter("faults.fast_failed").inc(len(live))
+                if batch_span is not None:
+                    tracer.end(batch_span, now,
+                               attributes={"outcome": "fast_failed"})
                 return
 
             # Graceful degradation: pick this dispatch's quality tier.
@@ -292,10 +452,15 @@ class ServeEngine:
                 tier = self.governor.select_tier(pressure, impaired)
                 if tier > 0:
                     params = self.governor.params_for(tier, self.params)
+                    reason = (DEGRADE_BREAKER if impaired
+                              else DEGRADE_PRESSURE)
                     fault_report.degradations.append(DegradationRecord(
                         seconds=now, batch_index=batch.index, tier=tier,
-                        reason=DEGRADE_BREAKER if impaired
-                        else DEGRADE_PRESSURE))
+                        reason=reason))
+                    registry.counter("faults.degraded_batches").inc()
+                    if batch_span is not None:
+                        tracer.event(batch_span, now, "degrade",
+                                     {"tier": tier, "reason": reason})
 
             queries = np.concatenate(
                 [req.queries for req in live], axis=0)
@@ -304,7 +469,8 @@ class ServeEngine:
             attempt = 0
             while True:
                 consumed: List = []
-                hook = (injector.hook(ready, sink=consumed)
+                hook = (injector.hook(ready, sink=consumed,
+                                      metrics=registry)
                         if injector is not None else None)
                 try:
                     stream = stream_batches(
@@ -317,9 +483,26 @@ class ServeEngine:
                         seconds=ready, kind=err.kind,
                         batch_index=batch.index, attempt=attempt,
                         fatal=True))
-                    failed_at = clock.charge_failure(
+                    registry.counter("faults.injected").inc()
+                    registry.counter("faults.fatal").inc()
+                    slots = clock.charge_failure(
                         ready, err.upload_seconds, err.compute_seconds)
+                    failed_at = slots.compute_end
                     gpu_busy += err.compute_seconds
+                    if tracer is not None:
+                        att = tracer.begin(
+                            "attempt", ready, parent_id=batch_span,
+                            attributes={"attempt": attempt})
+                        tracer.add("upload", slots.upload_start,
+                                   slots.upload_end, parent_id=att,
+                                   lane="engine/upload")
+                        tracer.add("compute", slots.compute_start,
+                                   slots.compute_end, parent_id=att,
+                                   lane="engine/compute")
+                        tracer.event(att, failed_at, "fault",
+                                     {"kind": err.kind, "fatal": True})
+                        tracer.end(att, failed_at, attributes={
+                            "outcome": "failed"})
                     if breaker is not None:
                         breaker.record_failure(failed_at)
                     tripped = (breaker is not None
@@ -333,8 +516,11 @@ class ServeEngine:
                                        f"({err.kind})")
                         fail_batch(live, batch, failed_at, detail)
                         in_flight.append((failed_at, len(queries)))
-                        batch_sizes.append(len(queries))
-                        batch_triggers.append(batch.trigger)
+                        record_batch(batch, len(queries))
+                        if batch_span is not None:
+                            tracer.end(batch_span, failed_at,
+                                       attributes={"outcome": "failed",
+                                                   "detail": detail})
                         return
                     attempt += 1
                     backoff = self.retry.backoff_seconds(
@@ -342,6 +528,12 @@ class ServeEngine:
                     fault_report.retries.append(RetryRecord(
                         seconds=failed_at, batch_index=batch.index,
                         attempt=attempt, backoff_seconds=backoff))
+                    registry.counter("faults.retries").inc()
+                    if tracer is not None:
+                        tracer.add("retry.backoff", failed_at,
+                                   failed_at + backoff,
+                                   parent_id=batch_span,
+                                   attributes={"attempt": attempt})
                     ready = failed_at + backoff
                     continue
                 break
@@ -352,17 +544,39 @@ class ServeEngine:
                     seconds=ready, kind=event.kind,
                     batch_index=batch.index, attempt=attempt,
                     fatal=False))
+                registry.counter("faults.injected").inc()
 
             timing = stream.batches[0]
-            start, completion = clock.schedule(
+            slots = clock.schedule(
                 ready, timing.upload_seconds,
                 timing.compute_seconds, timing.download_seconds)
+            start, completion = slots.service_start, slots.completion
+            compute_span = attempt_spans(batch_span, ready, attempt,
+                                         slots, completion, False)
+            kernel_tracker = stream.reports[0].tracker
+            publish_tracker_totals(registry, kernel_tracker)
+            if compute_span is not None:
+                cycle_attrs = {
+                    f"cycles.{phase}": total for phase, total
+                    in kernel_tracker.phase_totals().items()}
+                cycle_attrs["cycles_total"] = \
+                    kernel_tracker.total_cycles()
+                tracer.spans[compute_span].attributes.update(
+                    cycle_attrs)
+                for event in consumed:
+                    tracer.event(compute_span, slots.compute_start,
+                                 "fault", {"kind": event.kind,
+                                           "fatal": False})
             if breaker is not None:
                 breaker.record_success(completion)
             gpu_busy += timing.compute_seconds
             in_flight.append((completion, len(queries)))
-            batch_sizes.append(len(queries))
-            batch_triggers.append(batch.trigger)
+            record_batch(batch, len(queries))
+            if batch_span is not None:
+                tracer.end(batch_span, completion,
+                           attributes={"outcome": "served",
+                                       "tier": tier,
+                                       "n_attempts": attempt + 1})
 
             offset = 0
             for req in live:
@@ -404,12 +618,20 @@ class ServeEngine:
                     f"({self.points.shape[1]})"
                 )
             now = req.arrival_seconds
+            registry.counter("serve.requests").inc()
+            if tracer is not None:
+                request_spans[id(req)] = tracer.begin(
+                    "request", now, parent_id=root_span,
+                    lane_group="requests",
+                    attributes={"request_id": req.request_id,
+                                "n_queries": req.n_queries})
             for batch in scheduler.poll(now):
                 dispatch(batch)
 
             hit = self._cache_lookup(req, signature)
             if hit is not None:
                 ids, dists = hit
+                registry.counter("serve.cache_hits").inc()
                 finish(req, status=RequestStatus.CACHE_HIT,
                        ids=ids, dists=dists, completion_seconds=now)
                 continue
@@ -432,9 +654,19 @@ class ServeEngine:
         assert all(outcome is not None for outcome in outcomes)
         if breaker is not None:
             fault_report.breaker_transitions = list(breaker.transitions)
+            for transition in breaker.transitions:
+                registry.counter(
+                    f"faults.breaker.{transition.to_state}").inc()
         first_arrival = trace[0].arrival_seconds if trace else 0.0
         last_completion = max(
             (o.completion_seconds for o in outcomes), default=0.0)
+        makespan = max(last_completion - first_arrival, 0.0)
+        registry.gauge("serve.makespan_seconds").set(makespan)
+        registry.gauge("serve.gpu_busy_seconds").set(gpu_busy)
+        if tracer is not None:
+            root_end = max(last_completion, last_arrival, root_start) \
+                if trace else root_start
+            tracer.end(root_span, root_end)
         has_fault_machinery = (self.faults is not None
                                or self.breaker_policy is not None
                                or self.governor is not None
@@ -443,11 +675,12 @@ class ServeEngine:
             outcomes=outcomes,
             batch_sizes=batch_sizes,
             batch_triggers=batch_triggers,
-            makespan_seconds=max(last_completion - first_arrival, 0.0),
+            makespan_seconds=makespan,
             gpu_busy_seconds=gpu_busy,
             cache_stats=self.cache.stats if self.cache is not None
             else None,
             fault_report=fault_report if has_fault_machinery else None,
+            metrics=registry,
         )
 
     def _cache_lookup(self, req: QueryRequest, signature: tuple

@@ -14,13 +14,30 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import ObservabilityError
 from repro.faults.report import FaultReport
 from repro.serve.request import RequestOutcome, RequestStatus
 
 
 def _percentile(values: np.ndarray, q: float) -> float:
+    """Linear-interpolation percentile with exact degenerate cases.
+
+    ``np.percentile`` interpolates as ``a + gamma * (b - a)`` even when
+    the bracketing samples coincide, which turns a single-sample or
+    all-identical population containing ``inf`` into ``inf - inf =
+    nan`` (and, for gamma on the boundary, need not return the stored
+    float bit-for-bit).  The trace↔report reconciliation suite demands
+    byte-exact percentiles, so the degenerate populations short-circuit
+    to the exact stored value before NumPy interpolates.
+    """
     if len(values) == 0:
         return float("nan")
+    if len(values) == 1:
+        return float(values[0])
+    lo = float(values.min())
+    hi = float(values.max())
+    if lo == hi:
+        return lo
     return float(np.percentile(values, q, method="linear"))
 
 
@@ -39,6 +56,11 @@ class ServeReport:
             ran without a cache).
         fault_report: Fault-tolerance event ledger (``None`` when the
             engine ran without any fault machinery).
+        metrics: The :class:`~repro.observability.metrics.MetricsRegistry`
+            the replay published into.  The derived properties below
+            are *views* whose values must reconcile with the registry
+            exactly — :meth:`verify_against_metrics` enforces it, and
+            the observability invariant suite pins it.
     """
 
     outcomes: List[RequestOutcome]
@@ -48,6 +70,7 @@ class ServeReport:
     gpu_busy_seconds: float = 0.0
     cache_stats: Optional[object] = None
     fault_report: Optional[FaultReport] = None
+    metrics: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Populations
@@ -260,6 +283,70 @@ class ServeReport:
             return ""
         return (f" ({stats.collisions} collision-rejects, "
                 f"{stats.evictions} evictions)")
+
+    # ------------------------------------------------------------------
+    # Registry view
+    # ------------------------------------------------------------------
+
+    def verify_against_metrics(self) -> None:
+        """Assert this report is an exact view over its registry.
+
+        Every derived count above must equal the corresponding counter
+        the engine published while replaying — the two accounting paths
+        (outcome records vs. live metric publication) are allowed zero
+        drift.  Raises :class:`repro.errors.ObservabilityError` on the
+        first mismatch; a no-op when the report carries no registry.
+        """
+        registry = self.metrics
+        if registry is None:
+            return
+        expectations = {
+            "serve.requests": self.n_requests,
+            "serve.served": self.n_served,
+            "serve.outcomes.cache_hit": self.n_cache_hits,
+            "serve.outcomes.rejected": self.n_rejected,
+            "serve.outcomes.failed": self.n_failed,
+            "serve.outcomes.timed_out": self.n_timed_out,
+            "serve.degraded": self.n_degraded,
+            "serve.deadline_missed": self.n_deadline_missed,
+            "serve.queries_served": self.served_queries,
+            "serve.batches": self.n_batches,
+            "serve.makespan_seconds": self.makespan_seconds,
+            "serve.gpu_busy_seconds": self.gpu_busy_seconds,
+        }
+        for trigger, count in self.trigger_counts().items():
+            expectations[f"serve.batches.{trigger}"] = count
+        for tier, count in self.per_tier_counts().items():
+            expectations[f"serve.served_tier.{tier}"] = count
+        if self.fault_report is not None:
+            fr = self.fault_report
+            expectations.update({
+                "faults.scheduled": fr.scheduled_faults,
+                "faults.injected": fr.n_injected,
+                "faults.fatal": fr.n_fatal,
+                "faults.retries": fr.n_retries,
+                "faults.fast_failed": fr.fast_failed_requests,
+                "faults.deadline_dropped":
+                    fr.deadline_dropped_requests,
+                "faults.degraded_batches": fr.n_degraded_batches,
+            })
+            if fr.n_breaker_trips:
+                expectations["faults.breaker.open"] = \
+                    fr.n_breaker_trips
+        for name, expected in expectations.items():
+            actual = registry.value(name, default=0.0)
+            if actual != expected:
+                raise ObservabilityError(
+                    f"report/registry drift on {name!r}: report says "
+                    f"{expected}, registry says {actual}"
+                )
+        hist = (registry.snapshot().get("serve.latency_seconds")
+                if "serve.latency_seconds" in registry else None)
+        if hist is not None and hist["count"] != self.n_served:
+            raise ObservabilityError(
+                f"report/registry drift on latency histogram count: "
+                f"{self.n_served} served, {hist['count']} observed"
+            )
 
     # ------------------------------------------------------------------
     # Canonical form

@@ -1,0 +1,119 @@
+"""Fuzzing the Chrome ``trace_event`` exporter with hypothesis trees.
+
+The exporter promises that *any* well-formed span tree — arbitrary
+nesting, zero-width spans, shared timestamps, unicode attribute values,
+instants on span boundaries — exports to a payload the trace viewer can
+load: valid JSON, matched ``B``/``E`` pairs per thread, non-decreasing
+timestamps, instants inside an open span.  ``parse_chrome_trace`` is
+the machine-checkable form of that contract, so the property is simply
+export → parse for randomly grown trees built through the public
+:class:`SpanTracer` API.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability import (
+    SpanTracer,
+    export_chrome_trace_bytes,
+    parse_chrome_trace,
+)
+
+names = st.text(min_size=1, max_size=12)
+attr_values = st.one_of(
+    st.text(max_size=20),                      # includes unicode
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.none(),
+)
+attrs = st.dictionaries(st.text(min_size=1, max_size=8), attr_values,
+                        max_size=3)
+lanes = st.sampled_from([None, "alpha", "beta", "γ-lane"])
+
+
+@st.composite
+def span_trees(draw):
+    """Grow a random closed span tree through the tracer API."""
+    tracer = SpanTracer()
+
+    def grow(parent_id, lo, hi, depth):
+        n_children = draw(st.integers(min_value=0,
+                                      max_value=3 if depth < 3 else 0))
+        cursor = lo
+        for _ in range(n_children):
+            # Child interval inside [cursor, hi]; may be zero-width.
+            start = draw(st.floats(min_value=cursor, max_value=hi,
+                                   allow_nan=False))
+            end = draw(st.floats(min_value=start, max_value=hi,
+                                 allow_nan=False))
+            span_id = tracer.begin(draw(names), start,
+                                   parent_id=parent_id,
+                                   lane=draw(lanes),
+                                   attributes=draw(attrs))
+            grow(span_id, start, end, depth + 1)
+            n_events = draw(st.integers(min_value=0, max_value=2))
+            for _ in range(n_events):
+                at = draw(st.floats(min_value=start, max_value=end,
+                                    allow_nan=False))
+                tracer.event(span_id, at, draw(names),
+                             attributes=draw(attrs))
+            tracer.end(span_id, end)
+            cursor = end
+        return cursor
+
+    n_roots = draw(st.integers(min_value=1, max_value=3))
+    cursor = 0.0
+    for _ in range(n_roots):
+        start = draw(st.floats(min_value=cursor, max_value=1e3,
+                               allow_nan=False))
+        end = draw(st.floats(min_value=start, max_value=1e3,
+                             allow_nan=False))
+        root = tracer.begin(draw(names), start, lane=draw(lanes),
+                            attributes=draw(attrs))
+        grow(root, start, end, 0)
+        tracer.end(root, end)
+        cursor = end
+    tracer.finish()
+    return tracer
+
+
+class TestChromeExportFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(tracer=span_trees())
+    def test_every_tree_exports_to_a_loadable_trace(self, tracer):
+        payload = export_chrome_trace_bytes(tracer)
+        events = parse_chrome_trace(payload)
+        durations = [e for e in events if e["ph"] in ("B", "E")]
+        instants = [e for e in events if e["ph"] == "i"]
+        # Nothing is dropped: one B/E pair per span, every span event
+        # survives as an instant (pushdown relocates, never discards).
+        assert len(durations) == 2 * len(tracer.spans)
+        assert len(instants) == sum(len(s.events)
+                                    for s in tracer.spans)
+
+    @settings(max_examples=150, deadline=None)
+    @given(tracer=span_trees())
+    def test_export_is_deterministic_ascii_json(self, tracer):
+        payload = export_chrome_trace_bytes(tracer)
+        assert payload == export_chrome_trace_bytes(tracer)
+        payload.decode("ascii")  # unicode is escaped, never raw
+        data = json.loads(payload)
+        assert data["displayTimeUnit"] == "ms"
+
+    def test_instant_inside_child_does_not_regress_timestamps(self):
+        # Regression shape: a parent event strictly inside its child's
+        # interval must be pushed inside the child's B/E pair.
+        tracer = SpanTracer()
+        parent = tracer.begin("parent", 0.0, lane="x")
+        tracer.add("child", 1.0, 3.0, parent_id=parent, lane="x")
+        tracer.event(parent, 2.0, "mid")  # strictly inside the child
+        tracer.end(parent, 4.0)
+        tracer.finish()
+        events = parse_chrome_trace(export_chrome_trace_bytes(tracer))
+        order = [(e["ph"], e["name"]) for e in events
+                 if e["ph"] != "M"]
+        assert order == [("B", "parent"), ("B", "child"),
+                         ("i", "mid"), ("E", "child"), ("E", "parent")]

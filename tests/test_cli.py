@@ -149,3 +149,40 @@ class TestChaosSim:
         assert args.retries == 2
         assert args.deadline_ms > 0
         assert not args.no_governor
+
+
+class TestTrace:
+    def test_trace_writes_valid_deterministic_files(self, tmp_path,
+                                                    capsys):
+        from repro.observability import SpanTracer, parse_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        chrome_path = tmp_path / "chrome.json"
+        argv = ["trace", "sift1m", "--points", "500",
+                "--queries", "50", "--requests", "400",
+                "--qps", "20000", "--max-batch", "64",
+                "--max-wait-ms", "0.5", "-k", "5", "--l-n", "32",
+                "--d-min", "6", "--d-max", "12",
+                "--fault-plan", "aggressive", "--fault-seed", "0",
+                "--output", str(trace_path),
+                "--chrome-output", str(chrome_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "trace digest" in out
+        assert "spans on" in out
+
+        tracer = SpanTracer.from_json_bytes(trace_path.read_bytes())
+        tracer.validate()
+        assert tracer.roots()[0].name == "serve.replay"
+        parse_chrome_trace(chrome_path.read_bytes())
+
+        first = trace_path.read_bytes()
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert trace_path.read_bytes() == first
+
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.fault_plan == "aggressive"
+        assert args.output == "trace.json"
+        assert args.chrome_output is None

@@ -1,0 +1,176 @@
+"""Unit tests for the span tracer: API misuse, lanes, serialization.
+
+The invariant suite exercises the tracer through full chaos replays;
+these tests pin the contract edge by edge — every documented misuse
+raises :class:`ObservabilityError`, lane groups pack deterministically,
+and the canonical encoding survives a round trip bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import (
+    DEFAULT_LANE,
+    SpanTracer,
+    jsonable_scalar,
+)
+
+
+class TestScalarCoercion:
+    def test_plain_scalars_pass_through(self):
+        assert jsonable_scalar(None) is None
+        assert jsonable_scalar(True) is True
+        assert jsonable_scalar(3) == 3
+        assert jsonable_scalar(2.5) == 2.5
+        assert jsonable_scalar("x") == "x"
+
+    def test_numpy_scalars_are_coerced(self):
+        assert jsonable_scalar(np.int64(7)) == 7
+        assert isinstance(jsonable_scalar(np.int64(7)), int)
+        assert jsonable_scalar(np.float64(0.5)) == 0.5
+        assert isinstance(jsonable_scalar(np.float64(0.5)), float)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_floats_are_rejected(self, bad):
+        with pytest.raises(ObservabilityError, match="non-finite"):
+            jsonable_scalar(bad)
+
+    def test_compound_values_are_rejected(self):
+        with pytest.raises(ObservabilityError, match="not a JSON"):
+            jsonable_scalar([1, 2])
+
+
+class TestTracerMisuse:
+    def test_double_close_raises(self):
+        tracer = SpanTracer()
+        span = tracer.begin("a", 0.0)
+        tracer.end(span, 1.0)
+        with pytest.raises(ObservabilityError, match="not open"):
+            tracer.end(span, 2.0)
+
+    def test_end_before_start_raises_and_keeps_span_open(self):
+        tracer = SpanTracer()
+        span = tracer.begin("a", 5.0)
+        with pytest.raises(ObservabilityError, match="before its start"):
+            tracer.end(span, 4.0)
+        assert tracer.n_open == 1
+        tracer.end(span, 5.0)  # still closable afterwards
+
+    def test_unknown_parent_raises(self):
+        tracer = SpanTracer()
+        with pytest.raises(ObservabilityError, match="unknown parent"):
+            tracer.begin("a", 0.0, parent_id=99)
+
+    def test_event_outside_interval_raises(self):
+        tracer = SpanTracer()
+        span = tracer.add("a", 1.0, 2.0)
+        with pytest.raises(ObservabilityError, match="outside"):
+            tracer.event(span, 3.0, "late")
+
+    def test_finish_with_open_span_names_the_leak(self):
+        tracer = SpanTracer()
+        tracer.begin("leaky", 0.0)
+        with pytest.raises(ObservabilityError, match="leaky"):
+            tracer.finish()
+
+    def test_recording_after_finish_raises(self):
+        tracer = SpanTracer()
+        tracer.finish()
+        with pytest.raises(ObservabilityError, match="finished"):
+            tracer.begin("a", 0.0)
+
+    def test_lane_and_lane_group_are_exclusive(self):
+        tracer = SpanTracer()
+        with pytest.raises(ObservabilityError, match="not both"):
+            tracer.begin("a", 0.0, lane="x", lane_group="g")
+
+
+class TestLaneAllocation:
+    def test_children_inherit_the_parent_lane(self):
+        tracer = SpanTracer()
+        root = tracer.begin("root", 0.0, lane="engine")
+        child = tracer.add("child", 0.0, 1.0, parent_id=root)
+        assert tracer.spans[child].lane == "engine"
+        tracer.end(root, 1.0)
+
+    def test_root_without_lane_gets_the_default(self):
+        tracer = SpanTracer()
+        span = tracer.add("a", 0.0, 1.0)
+        assert tracer.spans[span].lane == DEFAULT_LANE
+
+    def test_overlapping_group_spans_get_distinct_lanes(self):
+        tracer = SpanTracer()
+        a = tracer.begin("a", 0.0, lane_group="requests")
+        b = tracer.begin("b", 0.5, lane_group="requests")
+        assert tracer.spans[a].lane == "requests/0"
+        assert tracer.spans[b].lane == "requests/1"
+        tracer.end(a, 1.0)
+        tracer.end(b, 2.0)
+        # Lane 0 freed at t=1: the next span at t>=1 reuses it.
+        c = tracer.begin("c", 1.5, lane_group="requests")
+        assert tracer.spans[c].lane == "requests/0"
+        tracer.end(c, 2.0)
+        tracer.finish()
+        tracer.validate()
+
+    def test_open_group_span_blocks_its_lane(self):
+        tracer = SpanTracer()
+        a = tracer.begin("a", 0.0, lane_group="g")
+        b = tracer.begin("b", 100.0, lane_group="g")
+        # Lane g/0 is busy-until-inf while "a" stays open, whatever
+        # the later start time.
+        assert tracer.spans[b].lane == "g/1"
+        tracer.end(a, 200.0)
+        tracer.end(b, 200.0)
+
+
+class TestSerialization:
+    def _sample(self):
+        tracer = SpanTracer()
+        root = tracer.begin("root", 0.0, lane="engine",
+                            attributes={"n": 2, "σ": "uni©ode"})
+        tracer.event(root, 0.5, "tick", {"ok": True})
+        tracer.add("child", 0.25, 0.75, parent_id=root)
+        tracer.end(root, 1.0)
+        tracer.finish()
+        return tracer
+
+    def test_round_trip_is_byte_identical(self):
+        tracer = self._sample()
+        payload = tracer.to_json_bytes()
+        clone = SpanTracer.from_json_bytes(payload)
+        assert clone.to_json_bytes() == payload
+        assert clone.digest() == tracer.digest()
+
+    def test_encoding_is_ascii(self):
+        self._sample().to_json_bytes().decode("ascii")
+
+    def test_open_span_cannot_serialize_into_a_valid_trace(self):
+        tracer = SpanTracer()
+        tracer.begin("open", 0.0)
+        payload = tracer.to_json_bytes()
+        with pytest.raises(ObservabilityError, match="open"):
+            SpanTracer.from_json_bytes(payload)
+
+    def test_unknown_format_is_rejected(self):
+        with pytest.raises(ObservabilityError, match="format"):
+            SpanTracer.from_dict({"format": "not-a-trace", "spans": []})
+
+    def test_malformed_json_is_rejected(self):
+        with pytest.raises(ObservabilityError, match="malformed"):
+            SpanTracer.from_json_bytes(b"{nope")
+
+    def test_validate_catches_escaping_child(self):
+        tracer = SpanTracer()
+        root = tracer.begin("root", 0.0)
+        tracer.add("child", 0.2, 0.8, parent_id=root)
+        tracer.end(root, 1.0)
+        tracer.finish()
+        # Corrupt the tree behind the API's back, as a tampered trace
+        # file would: the child now outlives its parent.
+        clone = SpanTracer.from_json_bytes(tracer.to_json_bytes())
+        clone.spans[1].end_seconds = 2.0
+        with pytest.raises(ObservabilityError, match="escapes"):
+            clone.validate()

@@ -31,6 +31,7 @@ class TestTopLevelExports:
         "repro.core", "repro.baselines", "repro.gpusim", "repro.graphs",
         "repro.datasets", "repro.metrics", "repro.bench",
         "repro.extensions", "repro.cli", "repro.serve", "repro.faults",
+        "repro.observability",
     ])
     def test_subpackages_import(self, module):
         importlib.import_module(module)
@@ -38,6 +39,7 @@ class TestTopLevelExports:
     @pytest.mark.parametrize("module", [
         "repro.core", "repro.baselines", "repro.gpusim", "repro.bench",
         "repro.extensions", "repro.serve", "repro.faults",
+        "repro.observability",
     ])
     def test_subpackage_alls_resolve(self, module):
         mod = importlib.import_module(module)

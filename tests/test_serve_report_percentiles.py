@@ -1,0 +1,107 @@
+"""Regression tests for ServeReport percentile edge cases.
+
+``np.percentile`` interpolates ``a + gamma * (b - a)`` even when the
+bracketing samples are the same value; for a single-request trace whose
+latency is ``inf`` (or any all-identical population containing ``inf``)
+that evaluates ``inf - inf = nan`` — the report would print ``nan``
+percentiles for a perfectly well-defined population.  ``_percentile``
+short-circuits the degenerate populations to the exact stored value;
+these tests pin both the old failure shapes and the exactness
+guarantee the trace↔report reconciliation suite relies on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.report import ServeReport, _percentile
+from repro.serve.request import RequestOutcome, RequestStatus
+
+
+def _served(request_id, latency):
+    return RequestOutcome(
+        request_id=request_id, arrival_seconds=0.0,
+        status=RequestStatus.SERVED,
+        ids=np.zeros((1, 1), dtype=np.int64),
+        dists=np.zeros((1, 1), dtype=np.float32),
+        completion_seconds=latency)
+
+
+class TestPercentileDegenerateCases:
+    def test_empty_population_is_nan(self):
+        assert np.isnan(_percentile(np.array([]), 50))
+
+    def test_single_sample_returns_the_exact_value(self):
+        for value in (0.0, 3.5e-4, 1e300):
+            arr = np.array([value])
+            for q in (0, 50, 95, 99, 100):
+                assert _percentile(arr, q) == value
+
+    def test_single_infinite_sample_is_inf_not_nan(self):
+        # The original bug: lerp on [inf] gave inf + 0*(inf-inf) = nan.
+        arr = np.array([np.inf])
+        assert _percentile(arr, 95) == np.inf
+
+    def test_all_identical_population_returns_the_stored_value(self):
+        for value in (2.25e-3, np.inf):
+            arr = np.full(17, value)
+            for q in (0, 50, 95, 99, 100):
+                assert _percentile(arr, q) == value
+
+    def test_distinct_populations_still_interpolate(self):
+        arr = np.array([1.0, 2.0, 3.0, 4.0])
+        assert _percentile(arr, 50) == np.percentile(arr, 50)
+        assert _percentile(arr, 95) == np.percentile(arr, 95)
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                     allow_nan=False),
+                           min_size=1, max_size=50),
+           q=st.sampled_from([0, 25, 50, 90, 95, 99, 100]))
+    def test_percentile_lies_within_range(self, values, q):
+        arr = np.array(values)
+        result = _percentile(arr, q)
+        assert arr.min() <= result <= arr.max()
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                     allow_nan=False),
+                           min_size=1, max_size=50))
+    def test_percentiles_are_monotone_in_q(self, values):
+        arr = np.array(values)
+        results = [_percentile(arr, q) for q in (50, 95, 99)]
+        assert results == sorted(results)
+
+
+class TestServeReportPercentileRegressions:
+    def test_single_request_report_percentiles_are_exact(self):
+        latency = 7.3e-4
+        report = ServeReport(outcomes=[_served(0, latency)])
+        assert report.p50_latency == latency
+        assert report.p95_latency == latency
+        assert report.p99_latency == latency
+        assert report.mean_latency == latency
+
+    def test_single_request_with_infinite_latency_is_not_nan(self):
+        report = ServeReport(outcomes=[_served(0, np.inf)])
+        assert report.p50_latency == np.inf
+        assert report.p95_latency == np.inf
+        assert report.p99_latency == np.inf
+
+    def test_all_identical_latency_trace_is_exact(self):
+        latency = 1.25e-3
+        report = ServeReport(
+            outcomes=[_served(i, latency) for i in range(9)])
+        assert report.p50_latency == latency
+        assert report.p95_latency == latency
+        assert report.p99_latency == latency
+
+    def test_empty_trace_percentiles_are_nan(self):
+        report = ServeReport(outcomes=[])
+        assert np.isnan(report.p50_latency)
+        assert np.isnan(report.mean_latency)
+
+    def test_summary_renders_the_edge_cases(self):
+        # The original symptom was "nan ms" in the printed summary.
+        single = ServeReport(outcomes=[_served(0, 5e-4)])
+        assert "nan" not in single.summary()

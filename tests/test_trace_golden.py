@@ -1,0 +1,116 @@
+"""Golden-file determinism for the observability trace format.
+
+The byte-determinism claim of ``docs/observability.md`` is pinned here
+against a committed artifact: a frozen chaos-serving scenario (fixed
+dataset seeds, fixed fault plan, fixed engine knobs) must serialize to
+a span trace *byte-identical* to ``tests/data/trace_golden.json.gz``
+across runs, processes and releases.  Any change that moves a single
+byte — a reordered span, a different float path, a new attribute —
+fails this test and must either be fixed or consciously regenerate the
+golden:
+
+    PYTHONPATH=src python scripts/regen_golden.py --trace
+
+(the script rewrites ``tests/data/trace_golden.json.gz`` with
+``gzip`` ``mtime=0`` so the archive itself is reproducible; say so in
+the commit message when you regenerate).
+"""
+
+import gzip
+import os
+
+from repro.core.params import SearchParams
+from repro.baselines.nsw_cpu import build_nsw_cpu
+from repro.datasets.synthetic import gaussian_mixture
+from repro.faults import (
+    AdmissionGovernor,
+    BreakerPolicy,
+    RetryPolicy,
+    named_fault_plan,
+)
+from repro.observability import MetricsRegistry, SpanTracer
+from repro.serve import BatchPolicy, ResultCache, ServeEngine, synthetic_trace
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "trace_golden.json.gz")
+
+#: The frozen scenario.  Never change these values without regenerating
+#: the golden file (and saying so in the commit message).
+N_POINTS = 400
+N_DIMS = 16
+POOL_SIZE = 120
+N_REQUESTS = 400
+MEAN_QPS = 30_000.0
+SEED_POINTS = 42
+SEED_POOL = 43
+SEED_TRACE = 17
+SEED_FAULTS = 29
+D_MIN, D_MAX = 8, 16
+PARAMS = SearchParams(k=8, l_n=32)
+
+
+def compute_golden_trace() -> bytes:
+    """Run the frozen scenario from scratch; returns the trace bytes."""
+    points = gaussian_mixture(N_POINTS, N_DIMS, n_clusters=6,
+                              cluster_std=0.3, intrinsic_dim=6,
+                              seed=SEED_POINTS)
+    pool = gaussian_mixture(POOL_SIZE, N_DIMS, n_clusters=6,
+                            cluster_std=0.3, intrinsic_dim=6,
+                            seed=SEED_POOL)
+    graph = build_nsw_cpu(points, d_min=D_MIN, d_max=D_MAX).graph
+    plan = named_fault_plan(
+        "aggressive", horizon_seconds=2.0 * N_REQUESTS / MEAN_QPS,
+        seed=SEED_FAULTS)
+    engine = ServeEngine(
+        graph, points, PARAMS,
+        policy=BatchPolicy(max_batch=32, max_wait_seconds=5e-4,
+                           max_queue=512),
+        cache=ResultCache(capacity=256),
+        faults=plan,
+        retry=RetryPolicy(max_retries=2, base_seconds=2e-4,
+                          cap_seconds=2e-3),
+        breaker=BreakerPolicy(failure_threshold=3,
+                              cooldown_seconds=2e-3),
+        governor=AdmissionGovernor.default_for(PARAMS),
+        default_deadline_seconds=20e-3)
+    trace = synthetic_trace(pool, N_REQUESTS, mean_qps=MEAN_QPS,
+                            repeat_fraction=0.3, seed=SEED_TRACE)
+    tracer = SpanTracer()
+    report = engine.replay(trace, tracer=tracer,
+                           metrics=MetricsRegistry())
+    tracer.finish()
+    tracer.validate()
+    report.verify_against_metrics()
+    return tracer.to_json_bytes()
+
+
+def write_golden(payload: bytes) -> None:
+    """Write the golden archive reproducibly (fixed gzip mtime)."""
+    with open(GOLDEN_PATH, "wb") as handle:
+        with gzip.GzipFile(fileobj=handle, mode="wb", mtime=0) as gz:
+            gz.write(payload)
+
+
+class TestTraceGolden:
+    def test_golden_file_is_committed(self):
+        assert os.path.exists(GOLDEN_PATH), (
+            f"golden trace missing at {GOLDEN_PATH}; regenerate with "
+            f"PYTHONPATH=src python scripts/regen_golden.py --trace"
+        )
+
+    def test_trace_matches_golden_byte_for_byte(self):
+        payload = compute_golden_trace()
+        with gzip.open(GOLDEN_PATH, "rb") as gz:
+            golden = gz.read()
+        assert payload == golden, (
+            "trace bytes drifted from the committed golden; if the "
+            "change is intentional, regenerate with "
+            "PYTHONPATH=src python scripts/regen_golden.py --trace"
+        )
+
+    def test_golden_is_a_valid_well_formed_trace(self):
+        with gzip.open(GOLDEN_PATH, "rb") as gz:
+            tracer = SpanTracer.from_json_bytes(gz.read())
+        tracer.validate()
+        assert tracer.roots()[0].name == "serve.replay"
+        assert len(tracer.find("request")) == N_REQUESTS
