@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full experiments examples clean
+.PHONY: install test bench bench-full bench-wallclock perf-smoke \
+	experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -15,6 +16,16 @@ bench:
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate the committed wall-clock baseline (fast vs reference).
+bench-wallclock:
+	$(PYTHON) benchmarks/bench_wallclock.py --output BENCH_wallclock.json
+
+# The CI perf gate: quick workload, fast must stay >= 1.5x reference.
+perf-smoke:
+	$(PYTHON) benchmarks/bench_wallclock.py --quick \
+		--output wallclock_smoke.json
+	$(PYTHON) scripts/check_perf_smoke.py wallclock_smoke.json
 
 experiments:
 	$(PYTHON) scripts/collect_experiments.py

@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark: fast execution backend vs the reference path.
+
+Unlike the ``bench_fig*.py`` suite (which measures *simulated* cycles),
+this harness times real host seconds.  Each workload builds its
+fixtures once, runs both backends best-of-N, asserts the two backends
+returned identical neighbor ids, and records the speedup.  The result
+is written as JSON; the committed ``BENCH_wallclock.json`` at the repo
+root is the tracked baseline (regenerate with ``make bench-wallclock``).
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py            # full
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --quick    # CI
+
+``--quick`` runs only the ``smoke`` workload, which the CI perf gate
+(``scripts/check_perf_smoke.py``) requires to stay >= 1.5x.  The full
+set adds batched-search workloads shaped like the paper's Figure 6
+throughput runs and a serving replay; the acceptance baseline requires
+>= 3x on at least one of them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.baselines.nsw_cpu import build_nsw_cpu
+from repro.core.ganns import ganns_search
+from repro.core.params import SearchParams
+from repro.datasets.synthetic import gaussian_mixture
+from repro.perf.backend import FAST, REFERENCE
+from repro.serve.engine import ServeEngine
+from repro.serve.scheduler import BatchPolicy
+from repro.serve.trace import synthetic_trace
+
+SCHEMA = "repro.bench_wallclock/v1"
+
+
+def _best_of(fn, repeats):
+    """Best-of-``repeats`` wall-clock seconds, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _search_workload(name, n, dims, n_queries, l_n, dtype, repeats):
+    """Batched GANNS search, fig06-style: one graph, one query batch."""
+    dtype = np.dtype(dtype)
+    points = gaussian_mixture(n, dims, seed=0).astype(dtype)
+    queries = gaussian_mixture(n_queries, dims, seed=1).astype(dtype)
+    graph = build_nsw_cpu(points, d_min=8, d_max=16).graph
+
+    def run(backend):
+        params = SearchParams(k=10, l_n=l_n, backend=backend)
+        return _best_of(
+            lambda: ganns_search(graph, points, queries, params,
+                                 dtype=dtype), repeats)
+
+    ref_seconds, ref = run(REFERENCE)
+    fast_seconds, fast = run(FAST)
+    return {
+        "name": name,
+        "kind": "ganns_search",
+        "config": {"n_points": n, "n_dims": dims, "n_queries": n_queries,
+                   "l_n": l_n, "dtype": dtype.name},
+        "reference_seconds": ref_seconds,
+        "fast_seconds": fast_seconds,
+        "speedup": ref_seconds / fast_seconds,
+        "ids_match": ref.ids.tobytes() == fast.ids.tobytes(),
+    }
+
+
+def _serve_workload(name, repeats):
+    """Serving replay: thousands of micro-batches through ServeEngine.
+
+    The arena cache earns its keep here — every dispatch reuses the
+    same buffers, so the fast path's steady-state allocation rate is
+    near zero.
+    """
+    dtype = np.dtype(np.float32)
+    points = gaussian_mixture(8000, 64, seed=0).astype(dtype)
+    pool = gaussian_mixture(1500, 64, seed=1).astype(dtype)
+    graph = build_nsw_cpu(points, d_min=8, d_max=16).graph
+    trace = synthetic_trace(pool, 3000, mean_qps=240_000.0,
+                            queries_per_request=4, seed=7)
+    # Throughput-tier policy: wide micro-batches keep the kernel in its
+    # batched regime, which is where the arena + GEMM path pays off.
+    policy = BatchPolicy(max_batch=1024, max_wait_seconds=0.004,
+                         max_queue=16384)
+
+    def run(backend):
+        engine = ServeEngine(
+            graph, points,
+            params=SearchParams(k=10, l_n=64, backend=backend),
+            policy=policy)
+        return _best_of(lambda: engine.replay(trace), repeats)
+
+    ref_seconds, ref = run(REFERENCE)
+    fast_seconds, fast = run(FAST)
+    ref_ids = {o.request_id: o.ids.tobytes()
+               for o in ref.outcomes if o.served}
+    fast_ids = {o.request_id: o.ids.tobytes()
+                for o in fast.outcomes if o.served}
+    return {
+        "name": name,
+        "kind": "serve_replay",
+        "config": {"n_points": 8000, "n_dims": 64, "n_requests": 3000,
+                   "queries_per_request": 4, "l_n": 64,
+                   "max_batch": 1024, "dtype": dtype.name},
+        "reference_seconds": ref_seconds,
+        "fast_seconds": fast_seconds,
+        "speedup": ref_seconds / fast_seconds,
+        "ids_match": ref_ids == fast_ids,
+    }
+
+
+def run_workloads(quick, repeats):
+    """Run the selected workload set; returns the JSON document."""
+    workloads = [
+        _search_workload("smoke", n=4000, dims=64, n_queries=1000,
+                         l_n=64, dtype=np.float32, repeats=repeats),
+    ]
+    if not quick:
+        workloads.append(_search_workload(
+            "fig06_batch_d128", n=8000, dims=128, n_queries=2000,
+            l_n=64, dtype=np.float32, repeats=repeats))
+        workloads.append(_search_workload(
+            "fig06_batch_d256", n=8000, dims=256, n_queries=2000,
+            l_n=64, dtype=np.float32, repeats=repeats))
+        workloads.append(_serve_workload("serve_replay", repeats=repeats))
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "repeats": repeats,
+        "workloads": workloads,
+        "best_speedup": max(w["speedup"] for w in workloads),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the CI smoke workload")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing repeats (default 3)")
+    parser.add_argument("--output", default="BENCH_wallclock.json",
+                        help="where to write the JSON document")
+    args = parser.parse_args(argv)
+
+    doc = run_workloads(quick=args.quick, repeats=args.repeats)
+    with open(args.output, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+
+    print(f"{'workload':<20} {'reference':>10} {'fast':>10} {'speedup':>9}"
+          f" {'ids':>5}")
+    for w in doc["workloads"]:
+        print(f"{w['name']:<20} {w['reference_seconds']:>9.2f}s "
+              f"{w['fast_seconds']:>9.2f}s {w['speedup']:>8.2f}x "
+              f"{'ok' if w['ids_match'] else 'DRIFT':>5}")
+    print(f"wrote {args.output}")
+    if not all(w["ids_match"] for w in doc["workloads"]):
+        print("ERROR: backends disagree on neighbor ids", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

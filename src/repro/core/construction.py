@@ -29,7 +29,7 @@ and Figure 12's benchmark shows the approximate-search quality match.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -46,6 +46,12 @@ from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.scan import csr_offsets_from_sorted_ids
 from repro.gpusim.tracker import PhaseCategory
 from repro.metrics.distance import get_metric
+from repro.perf.backend import FAST, resolve_backend
+from repro.perf.construction import (
+    insert_bidirectional_batch,
+    merge_forward_batch,
+    merge_segments_batch,
+)
 
 
 def _exact_beam_stub(n_candidates: int) -> BeamSearchResult:
@@ -118,7 +124,8 @@ def build_nsw_gpu(points: np.ndarray, params: BuildParams,
                   search_kernel: str = "ganns", metric: str = "euclidean",
                   exact: bool = False,
                   device: DeviceSpec = QUADRO_P5000,
-                  costs: CostTable = DEFAULT_COSTS) -> ConstructionReport:
+                  costs: CostTable = DEFAULT_COSTS,
+                  backend: Optional[str] = None) -> ConstructionReport:
     """Build an NSW graph with GGraphCon on the simulated GPU.
 
     Args:
@@ -133,11 +140,16 @@ def build_nsw_gpu(points: np.ndarray, params: BuildParams,
             meant for tests and small inputs.
         device: Simulated device.
         costs: Cycle cost table.
+        backend: Execution backend (``"reference"``/``"fast"``); ``None``
+            defers to the ``REPRO_BACKEND`` environment variable.  The
+            fast backend batches the per-vertex insert/merge loops and
+            produces the identical graph and cycle accounting.
 
     Returns:
         A :class:`repro.core.results.ConstructionReport` whose ``graph``
         is the merged ``G_0``.
     """
+    use_fast = resolve_backend(backend) == FAST
     points = np.asarray(points)
     if points.ndim != 2 or len(points) == 0:
         raise ConstructionError(
@@ -188,10 +200,19 @@ def build_nsw_gpu(points: np.ndarray, params: BuildParams,
             block_distance[g] += charge.distance_cycles
             block_structure[g] += charge.structure_cycles
             insert_cost = costs.backward_insert_cycles(d_max, n_t)
-            for u, dist in zip(neighbor_ids, dists):
-                local_graph.insert_edge(local_vertex, int(u), float(dist))
-                local_graph.insert_edge(int(u), local_vertex, float(dist))
-                block_structure[g] += 2 * insert_cost
+            if use_fast and len(neighbor_ids):
+                insert_bidirectional_batch(local_graph, local_vertex,
+                                           np.asarray(neighbor_ids),
+                                           np.asarray(dists,
+                                                      dtype=np.float64))
+                # insert_cost is integral, so the product equals the
+                # reference's repeated addition bit-for-bit.
+                block_structure[g] += len(neighbor_ids) * 2 * insert_cost
+            else:
+                for u, dist in zip(neighbor_ids, dists):
+                    local_graph.insert_edge(local_vertex, int(u), float(dist))
+                    local_graph.insert_edge(int(u), local_vertex, float(dist))
+                    block_structure[g] += 2 * insert_cost
             count = len(neighbor_ids)
             forward_ids[group[local_vertex], :count] = group[neighbor_ids]
             forward_dists[group[local_vertex], :count] = dists
@@ -227,6 +248,8 @@ def build_nsw_gpu(points: np.ndarray, params: BuildParams,
         edge_src: List[int] = []
         edge_dst: List[int] = []
         edge_dist: List[float] = []
+        search_ids: List[np.ndarray] = []
+        search_dists: List[np.ndarray] = []
         merge_forward_cost = costs.ganns_merge_cycles(d_min, d_min, n_t)
         for j, v in enumerate(group):
             if exact:
@@ -253,6 +276,15 @@ def build_nsw_gpu(points: np.ndarray, params: BuildParams,
             step_distance += charge.distance_cycles
             step_structure += charge.structure_cycles + merge_forward_cost
 
+            if use_fast:
+                # Searches only reach G_0's prefix (nothing links to
+                # this group's vertices until Step 3 applies the
+                # backward edges), so row writes batch safely after
+                # the search loop.
+                search_ids.append(np.asarray(ids, dtype=np.int64))
+                search_dists.append(np.asarray(dists, dtype=np.float64))
+                continue
+
             # v.N := top d_min of (search results ∪ v.N').
             mask = forward_ids[v] >= 0
             all_ids = np.concatenate([ids, forward_ids[v][mask]])
@@ -275,15 +307,21 @@ def build_nsw_gpu(points: np.ndarray, params: BuildParams,
         times.add("merge_search", launch.seconds, step_distance,
                   step_structure)
 
-        if not edge_src:
-            continue
-
-        # Step 2 — GatherScatter: bitonic sort E by (starting vertex,
-        # distance, ending vertex), then flags + prefix sum give CSR
-        # segment offsets.
-        src = np.asarray(edge_src, dtype=np.int64)
-        dst = np.asarray(edge_dst, dtype=np.int64)
-        dist = np.asarray(edge_dist, dtype=np.float64)
+        if use_fast:
+            src, dst, dist = merge_forward_batch(
+                graph, group, search_ids, search_dists, forward_ids,
+                forward_dists, d_min)
+            if len(src) == 0:
+                continue
+        else:
+            if not edge_src:
+                continue
+            # Step 2 — GatherScatter: bitonic sort E by (starting vertex,
+            # distance, ending vertex), then flags + prefix sum give CSR
+            # segment offsets.
+            src = np.asarray(edge_src, dtype=np.int64)
+            dst = np.asarray(edge_dst, dtype=np.int64)
+            dist = np.asarray(edge_dist, dtype=np.float64)
         order = np.lexsort((dst, dist, src))
         src, dst, dist = src[order], dst[order], dist[order]
         offsets = csr_offsets_from_sorted_ids(src)
@@ -298,13 +336,21 @@ def build_nsw_gpu(points: np.ndarray, params: BuildParams,
         # Step 3 — one block per starting vertex merges its backward-edge
         # segment into the adjacency row (best d_max survive).
         n_segments = len(offsets) - 1
-        segment_cycles = np.zeros(n_segments)
-        for s in range(n_segments):
-            lo, hi = offsets[s], offsets[s + 1]
-            u = int(src[lo])
-            graph.merge_row(u, dst[lo:hi], dist[lo:hi])
-            segment_cycles[s] = costs.adjacency_merge_cycles(
-                d_max, int(hi - lo), n_t)
+        if use_fast:
+            merge_segments_batch(graph, src, dst, dist, offsets)
+            segment_cycles = np.array([
+                costs.adjacency_merge_cycles(
+                    d_max, int(offsets[s + 1] - offsets[s]), n_t)
+                for s in range(n_segments)
+            ])
+        else:
+            segment_cycles = np.zeros(n_segments)
+            for s in range(n_segments):
+                lo, hi = offsets[s], offsets[s + 1]
+                u = int(src[lo])
+                graph.merge_row(u, dst[lo:hi], dist[lo:hi])
+                segment_cycles[s] = costs.adjacency_merge_cycles(
+                    d_max, int(hi - lo), n_t)
         launch = kernel.run(segment_cycles)
         times.add("merge_update", launch.seconds, 0.0,
                   float(segment_cycles.sum()))

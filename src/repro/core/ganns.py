@@ -36,6 +36,8 @@ from repro.errors import SearchError
 from repro.graphs.adjacency import ProximityGraph
 from repro.gpusim.costs import CostTable, DEFAULT_COSTS
 from repro.gpusim.memory import SharedMemoryBudget
+from repro.perf.backend import FAST, resolve_backend
+from repro.perf.distance import resolve_compute_dtype
 
 #: Safety cap on iterations, as a multiple of the explore budget; the
 #: search provably terminates long before this — hitting the cap means a
@@ -44,18 +46,20 @@ _MAX_ITERATION_FACTOR = 64
 
 
 def _group_distance_fn(metric_name: str, points: np.ndarray,
-                       queries: np.ndarray
+                       queries: np.ndarray,
+                       dtype: np.dtype = np.float64
                        ) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
     """Vectorised (active-queries x candidates) distance evaluator.
 
     Returns a function mapping (query row indices ``(m,)``, candidate ids
     ``(m, w)``) to distances ``(m, w)``.  Cosine pre-normalises once so the
     per-iteration work is a single einsum, mirroring how a kernel would
-    keep normalised vectors in global memory.
+    keep normalised vectors in global memory.  All arithmetic runs in
+    ``dtype`` (float64 by default — the historical behaviour).
     """
     if metric_name == "euclidean":
-        pts = np.asarray(points, dtype=np.float64)
-        qs = np.asarray(queries, dtype=np.float64)
+        pts = np.asarray(points, dtype=dtype)
+        qs = np.asarray(queries, dtype=dtype)
 
         def euclidean(query_rows: np.ndarray, cand_ids: np.ndarray
                       ) -> np.ndarray:
@@ -67,25 +71,26 @@ def _group_distance_fn(metric_name: str, points: np.ndarray,
 
     if metric_name == "cosine":
         def _unit(matrix: np.ndarray) -> np.ndarray:
-            matrix = np.asarray(matrix, dtype=np.float64)
+            matrix = np.asarray(matrix, dtype=dtype)
             norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
             return matrix / np.where(norms > 0.0, norms, 1.0)
 
         unit_points = _unit(points)
         unit_queries = _unit(queries)
+        one = np.dtype(dtype).type(1.0)
 
         def cosine(query_rows: np.ndarray, cand_ids: np.ndarray
                    ) -> np.ndarray:
             gathered = unit_points[cand_ids]
             sims = np.einsum("mtd,md->mt", gathered,
                              unit_queries[query_rows])
-            return 1.0 - sims
+            return one - sims
 
         return cosine
 
     if metric_name == "ip":
-        pts_ip = np.asarray(points, dtype=np.float64)
-        qs_ip = np.asarray(queries, dtype=np.float64)
+        pts_ip = np.asarray(points, dtype=dtype)
+        qs_ip = np.asarray(queries, dtype=dtype)
 
         def inner_product(query_rows: np.ndarray, cand_ids: np.ndarray
                           ) -> np.ndarray:
@@ -101,14 +106,18 @@ def ganns_search(graph: ProximityGraph, points: np.ndarray,
                  queries: np.ndarray, params: SearchParams,
                  entry: Union[int, np.ndarray] = 0,
                  costs: CostTable = DEFAULT_COSTS,
-                 lazy_check: bool = True) -> SearchReport:
+                 lazy_check: bool = True,
+                 dtype: Optional[object] = None) -> SearchReport:
     """Batched GANNS search: one simulated thread block per query.
 
     Args:
         graph: Proximity graph over ``points`` (``l_t`` is its ``d_max``).
         points: ``(n, d)`` data matrix.
         queries: ``(m, d)`` query matrix.
-        params: Search parameters (``k``, ``l_n``, ``e``, ``n_threads``).
+        params: Search parameters (``k``, ``l_n``, ``e``, ``n_threads``);
+            ``params.backend`` (or the ``REPRO_BACKEND`` environment
+            variable) selects the execution backend — results and cycle
+            charges are backend-independent.
         entry: Start vertex, or a per-query ``(m,)`` id array (as produced
             by an HNSW top-down descent).
         costs: Cycle cost table.
@@ -116,6 +125,9 @@ def ganns_search(graph: ProximityGraph, points: np.ndarray,
             duplicate-exploration guard is skipped and redundant work
             propagates (exploration of a vertex still happens at most once
             per pool residency, but re-discovered vertices re-enter ``N``).
+        dtype: Distance compute dtype (``np.float32``/``np.float64``);
+            ``None`` keeps the pinned default (float64).  Mixed-dtype
+            points/queries raise :class:`repro.errors.SearchError`.
 
     Returns:
         A :class:`repro.core.results.SearchReport`.
@@ -139,20 +151,29 @@ def ganns_search(graph: ProximityGraph, points: np.ndarray,
     l_t = graph.d_max
     e_budget = min(params.explore_budget, l_n)
     n_t = params.n_threads
+    compute_dtype = resolve_compute_dtype(points, queries, dtype)
 
+    # Entries are never mutated by either backend, so the read-only
+    # broadcast view is enough.
     entries = np.broadcast_to(np.asarray(entry, dtype=np.int64),
-                              (n_queries,)).copy()
+                              (n_queries,))
     if entries.min() < 0 or entries.max() >= graph.n_vertices:
         raise SearchError(
             f"entry vertices must lie in [0, {graph.n_vertices})"
         )
 
+    if resolve_backend(params.backend) == FAST:
+        from repro.perf.engine import ganns_search_fast
+        return ganns_search_fast(graph, points, queries, params, entries,
+                                 costs, lazy_check, compute_dtype)
+
     tracker = make_search_tracker(n_queries, "ganns")
-    distance_fn = _group_distance_fn(graph.metric_name, points, queries)
+    distance_fn = _group_distance_fn(graph.metric_name, points, queries,
+                                     compute_dtype)
 
     # Pool N: (dist, id, explored), sorted ascending by (dist, id); padding
     # is (+inf, -1, explored=True) so it is never selected for exploration.
-    pool_dists = np.full((n_queries, l_n), np.inf, dtype=np.float64)
+    pool_dists = np.full((n_queries, l_n), np.inf, dtype=compute_dtype)
     pool_ids = np.full((n_queries, l_n), -1, dtype=np.int64)
     pool_explored = np.ones((n_queries, l_n), dtype=bool)
 
@@ -202,9 +223,10 @@ def ganns_search(graph: ProximityGraph, points: np.ndarray,
         exploring = pool_ids[act, slot]
         pool_explored[act, slot] = True
 
-        # Phase 2 — neighborhood exploration: stream adjacency rows into T.
+        # Phase 2 — neighborhood exploration: stream adjacency rows into T
+        # (the fancy gather already yields a fresh, writable array).
         tracker.charge("neighborhood_exploration", explore_cost, act)
-        t_ids = graph.neighbor_ids[exploring].copy()
+        t_ids = graph.neighbor_ids[exploring]
         valid = t_ids >= 0
         degrees = graph.degrees[exploring]
 
@@ -251,6 +273,8 @@ def ganns_search(graph: ProximityGraph, points: np.ndarray,
                                                 axis=1)
 
     shared_mem = SharedMemoryBudget(l_n=l_n, l_t=l_t).total_bytes()
+    # These .copy()s are load-bearing: without them the report's (m, k)
+    # views would pin the full (m, l_n) pools in memory.
     return SearchReport(
         algorithm="ganns",
         ids=pool_ids[:, :params.k].copy(),

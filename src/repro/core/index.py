@@ -161,10 +161,17 @@ class GannsIndex:
             return self.graph.bottom
         return self.graph
 
-    def _entries(self, queries: np.ndarray) -> Union[int, np.ndarray]:
+    def _entries(self, queries: np.ndarray,
+                 backend: Optional[str] = None) -> Union[int, np.ndarray]:
         """Per-query entry vertices (HNSW descends; flat graphs use 0)."""
         if not isinstance(self.graph, HierarchicalGraph):
             return 0
+        from repro.perf.backend import FAST, resolve_backend
+        if resolve_backend(backend) == FAST:
+            from repro.perf.descent import hnsw_entry_descent_batch
+            entries, _ = hnsw_entry_descent_batch(self.graph, self.points,
+                                                  queries, self.metric)
+            return entries
         entries = np.empty(len(queries), dtype=np.int64)
         for row, query in enumerate(queries):
             entries[row], _ = hnsw_entry_descent(self.graph, self.points,
@@ -174,7 +181,8 @@ class GannsIndex:
     def search_report(self, queries: np.ndarray, k: int = 10,
                       algorithm: str = "ganns",
                       l_n: Optional[int] = None, e: Optional[int] = None,
-                      n_threads: int = 32) -> SearchReport:
+                      n_threads: int = 32,
+                      backend: Optional[str] = None) -> SearchReport:
         """Search and return the full :class:`SearchReport`.
 
         Args:
@@ -185,15 +193,19 @@ class GannsIndex:
                 smallest power of two >= ``4 * k`` (and >= 32).
             e: GANNS explored-vertex budget.
             n_threads: Threads per simulated block.
+            backend: Execution backend (``"reference"``/``"fast"``) for
+                GANNS search and HNSW descent; ``None`` defers to the
+                ``REPRO_BACKEND`` environment variable.
         """
         queries = np.asarray(queries)
         if l_n is None:
             l_n = max(32, next_pow2(4 * k))
         flat = self._flat_graph()
-        entries = self._entries(queries)
+        entries = self._entries(queries, backend=backend)
 
         if algorithm == "ganns":
-            params = SearchParams(k=k, l_n=l_n, e=e, n_threads=n_threads)
+            params = SearchParams(k=k, l_n=l_n, e=e, n_threads=n_threads,
+                                  backend=backend)
             report = ganns_search(flat, self.points, queries, params,
                                   entry=entries)
         elif algorithm == "song":

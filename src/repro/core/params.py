@@ -26,12 +26,17 @@ class SearchParams:
             in N for exploration", the fine-grained efficiency/accuracy
             knob of Section V.  Defaults to ``l_n``.
         n_threads: Threads per block (``n_t``); Figure 10 sweeps 4..32.
+        backend: Execution backend — ``"reference"`` or ``"fast"``; or
+            ``None`` to defer to the ``REPRO_BACKEND`` environment
+            variable (reference when unset).  Backends trade wall-clock
+            only: results and cycle charges are identical.
     """
 
     k: int = 10
     l_n: int = 64
     e: Optional[int] = None
     n_threads: int = 32
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -57,6 +62,15 @@ class SearchParams:
             raise ConfigurationError(
                 f"n_threads must be positive, got {self.n_threads}"
             )
+        if self.backend is not None:
+            # Import here: repro.perf.backend is dependency-free, but
+            # params is imported by nearly everything.
+            from repro.perf.backend import VALID_BACKENDS
+            if self.backend not in VALID_BACKENDS:
+                raise ConfigurationError(
+                    f"unknown execution backend {self.backend!r}; valid: "
+                    f"{VALID_BACKENDS}"
+                )
 
     @property
     def explore_budget(self) -> int:
@@ -73,7 +87,8 @@ class SearchParams:
         Two invocations with equal signatures (on the same index) return
         identical results, so the serving layer can key its result cache
         on ``(quantized query, signature)``.  ``n_threads`` only shapes
-        the simulated clock, never the answer, and is excluded.
+        the simulated clock, never the answer, and is excluded — as is
+        ``backend``, which changes wall-clock but never results.
         """
         return ("ganns", self.k, self.l_n, self.explore_budget)
 

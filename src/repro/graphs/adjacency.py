@@ -23,6 +23,9 @@ from repro.metrics.distance import Metric, get_metric
 PAD_ID = -1
 PAD_DIST = np.inf
 
+#: Distance-storage dtypes a graph may be pinned to.
+GRAPH_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
 
 class ProximityGraph:
     """Directed proximity graph with distance-ordered fixed-degree rows.
@@ -31,21 +34,32 @@ class ProximityGraph:
         n_vertices: Number of vertices (== number of points).
         d_max: Maximum out-degree; rows are dense arrays of this width.
         metric: Metric name used to build the graph (carried for search).
+        dtype: Distance-storage dtype (``float32`` or ``float64``).
+            Pinned at creation: every row write casts to it, so a graph
+            never silently mixes precisions.  Default ``float64``
+            preserves the historical layout byte-for-byte.
     """
 
     def __init__(self, n_vertices: int, d_max: int,
-                 metric: str = "euclidean"):
+                 metric: str = "euclidean", dtype: object = np.float64):
         if n_vertices <= 0:
             raise GraphError(f"n_vertices must be positive, got {n_vertices}")
         if d_max <= 0:
             raise GraphError(f"d_max must be positive, got {d_max}")
+        dtype = np.dtype(dtype)
+        if dtype not in GRAPH_DTYPES:
+            raise GraphError(
+                f"graph distance dtype must be one of "
+                f"{tuple(d.name for d in GRAPH_DTYPES)}, got {dtype.name}"
+            )
         self.n_vertices = int(n_vertices)
         self.d_max = int(d_max)
         self.metric_name = metric
+        self.dtype = dtype
         self.neighbor_ids = np.full((n_vertices, d_max), PAD_ID,
                                     dtype=np.int64)
         self.neighbor_dists = np.full((n_vertices, d_max), PAD_DIST,
-                                      dtype=np.float64)
+                                      dtype=dtype)
         self.degrees = np.zeros(n_vertices, dtype=np.int64)
 
     # ------------------------------------------------------------------
@@ -140,7 +154,7 @@ class ProximityGraph:
         """Replace a vertex's row wholesale (must be pre-sorted, <= d_max)."""
         self._check_vertex(vertex)
         ids = np.asarray(ids, dtype=np.int64)
-        dists = np.asarray(dists, dtype=np.float64)
+        dists = np.asarray(dists, dtype=self.dtype)
         if ids.shape != dists.shape or ids.ndim != 1:
             raise GraphError(
                 f"row arrays must be 1-D and equal length, got {ids.shape} "
@@ -172,7 +186,7 @@ class ProximityGraph:
         all_ids = np.concatenate([self.neighbor_ids[vertex, :degree],
                                   np.asarray(ids, dtype=np.int64)])
         all_dists = np.concatenate([self.neighbor_dists[vertex, :degree],
-                                    np.asarray(dists, dtype=np.float64)])
+                                    np.asarray(dists, dtype=self.dtype)])
         if len(all_ids) == 0:
             return
         order = np.lexsort((all_ids, all_dists))
@@ -194,7 +208,8 @@ class ProximityGraph:
 
     def copy(self) -> "ProximityGraph":
         """Deep copy of the graph."""
-        clone = ProximityGraph(self.n_vertices, self.d_max, self.metric_name)
+        clone = ProximityGraph(self.n_vertices, self.d_max, self.metric_name,
+                               dtype=self.dtype)
         clone.neighbor_ids = self.neighbor_ids.copy()
         clone.neighbor_dists = self.neighbor_dists.copy()
         clone.degrees = self.degrees.copy()
@@ -211,7 +226,8 @@ class ProximityGraph:
     @classmethod
     def from_rows(cls, rows_ids: np.ndarray, rows_dists: np.ndarray,
                   d_max: Optional[int] = None,
-                  metric: str = "euclidean") -> "ProximityGraph":
+                  metric: str = "euclidean",
+                  dtype: object = np.float64) -> "ProximityGraph":
         """Build a graph from dense ``(n, w)`` id/distance matrices.
 
         Padding entries must use ``-1`` / ``+inf``; rows must be sorted.
@@ -226,7 +242,7 @@ class ProximityGraph:
         n, width = rows_ids.shape
         if d_max is None:
             d_max = width
-        graph = cls(n, d_max, metric)
+        graph = cls(n, d_max, metric, dtype=dtype)
         for v in range(n):
             valid = rows_ids[v] >= 0
             graph.set_row(v, rows_ids[v][valid], rows_dists[v][valid])

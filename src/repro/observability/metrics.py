@@ -40,6 +40,13 @@ DEFAULT_LATENCY_BUCKETS = (
 #: Default batch-size buckets (queries per dispatched batch).
 DEFAULT_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
+#: Metric-name prefix for *volatile* measurements (host wall-clock,
+#: process RSS, …).  Everything else in the registry is an exact
+#: simulated quantity that replays bit-identically; volatile metrics by
+#: definition do not, so the canonical snapshot excludes them — two
+#: identical replays still produce identical :meth:`to_json_bytes`.
+VOLATILE_PREFIX = "perf."
+
 
 class Counter:
     """A monotonically non-decreasing total."""
@@ -219,13 +226,24 @@ class MetricsRegistry:
     # Serialization
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """Name-sorted plain-data snapshot of every instrument."""
+    def snapshot(self, include_volatile: bool = False
+                 ) -> Dict[str, Dict[str, object]]:
+        """Name-sorted plain-data snapshot of every instrument.
+
+        Args:
+            include_volatile: Also include metrics under
+                :data:`VOLATILE_PREFIX` (host wall-clock and friends).
+                Off by default so the snapshot — and everything built on
+                it, like :meth:`to_json_bytes` and :meth:`digest` —
+                stays byte-identical across replays of the same run.
+        """
         return {name: self._metrics[name].snapshot()
-                for name in sorted(self._metrics)}
+                for name in sorted(self._metrics)
+                if include_volatile
+                or not name.startswith(VOLATILE_PREFIX)}
 
     def to_json_bytes(self) -> bytes:
-        """Canonical byte encoding of :meth:`snapshot`."""
+        """Canonical byte encoding of :meth:`snapshot` (no volatiles)."""
         return json.dumps({"format": "repro-metrics-v1",
                            "metrics": self.snapshot()},
                           sort_keys=True, separators=(",", ":"),

@@ -1,0 +1,64 @@
+"""Execution-backend selection for the wall-clock fast path.
+
+Two backends execute the same algorithms with the same cycle accounting:
+
+- ``"reference"`` — the original, deliberately transparent NumPy
+  implementation (one allocation per conceptual buffer, phases written
+  exactly as the paper describes them).  The default everywhere.
+- ``"fast"`` — the arena-backed implementation in :mod:`repro.perf`:
+  preallocated work buffers, active-query compaction, GEMM distance
+  evaluation, and linear two-run merges.
+
+Selection precedence: an explicit value (``SearchParams.backend`` or a
+function argument) wins; otherwise the ``REPRO_BACKEND`` environment
+variable; otherwise ``"reference"``.  Tests therefore always exercise
+the reference path unless they opt in, and a whole deployment can flip
+to the fast path with one environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: Environment variable consulted when no explicit backend is given.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+REFERENCE = "reference"
+FAST = "fast"
+VALID_BACKENDS = (REFERENCE, FAST)
+
+
+def resolve_backend(explicit: Optional[str] = None) -> str:
+    """Resolve the execution backend to use.
+
+    Args:
+        explicit: An explicit backend name (e.g. from
+            ``SearchParams.backend``), or ``None`` to defer to the
+            ``REPRO_BACKEND`` environment variable.
+
+    Returns:
+        ``"fast"`` or ``"reference"``.
+
+    Raises:
+        ConfigurationError: On an unknown backend name, whether it came
+            from code or from the environment.
+    """
+    if explicit is not None:
+        if explicit not in VALID_BACKENDS:
+            raise ConfigurationError(
+                f"unknown execution backend {explicit!r}; valid: "
+                f"{VALID_BACKENDS}"
+            )
+        return explicit
+    env = os.environ.get(BACKEND_ENV_VAR)
+    if env is None or env == "":
+        return REFERENCE
+    if env not in VALID_BACKENDS:
+        raise ConfigurationError(
+            f"{BACKEND_ENV_VAR}={env!r} is not a valid execution backend; "
+            f"valid: {VALID_BACKENDS}"
+        )
+    return env

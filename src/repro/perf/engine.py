@@ -1,0 +1,309 @@
+"""Arena-backed GANNS search: the ``fast`` execution backend.
+
+Same six phases, same cycle charges, same results as
+:func:`repro.core.ganns.ganns_search` — different execution strategy:
+
+- work buffers come from a reused :class:`repro.perf.arena.SearchArena`;
+  active queries occupy compact rows and finished queries are scattered
+  to the output arrays the moment they retire, so no phase ever gathers
+  ``pool[act]`` or pays for queries that are done;
+- distances come from :class:`repro.perf.distance.GroupDistanceEngine`
+  (precomputed norms, one gather + one einsum per iteration, compute
+  dtype preserved);
+- phase 4's duplicate check runs as a row-offset ``searchsorted`` over
+  id-sorted pool rows — O(l_t log l_n) per query instead of the
+  reference's ``(m, l_t, l_n)`` broadcast equality;
+- phase 6's merge is a rank-based two-run merge — one broadcast
+  comparison prices every record's merged position, instead of a
+  ``lexsort`` over ``l_n + l_t`` keys.
+
+Equivalence contract (enforced by ``tests/test_perf_equivalence.py``):
+ids, iteration counts and per-phase cycle charges are *identical* to the
+reference path — the charge calls below are issued with the same lane
+sets, the same amounts and in the same order, so tracker listeners (e.g.
+the serve engine's mirrors) observe identical streams.  The merge tie
+rule ``(a_dist < b_dist) | ((a_dist == b_dist) & (a_id <= b_id))``
+reproduces the reference lexsort's stability exactly (pool entries win
+ties against T entries).  Distances are bit-identical for cosine/ip and
+agree to last-ulp rounding for euclidean (GEMM norm expansion).
+
+NaN distances are outside the contract: the reference lexsort and this
+merge may order NaNs differently.  Finite inputs — which every dataset
+loader and generator in this repo produces — never hit that case.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.core.params import SearchParams
+from repro.core.results import SearchReport, make_search_tracker
+from repro.errors import SearchError
+from repro.graphs.adjacency import ProximityGraph
+from repro.gpusim.costs import CostTable
+from repro.gpusim.memory import SharedMemoryBudget
+from repro.perf.arena import get_arena
+from repro.perf.distance import make_distance_engine
+
+#: Mirrors repro.core.ganns._MAX_ITERATION_FACTOR — the two backends
+#: must give up (and raise) at exactly the same point.
+_MAX_ITERATION_FACTOR = 64
+
+#: Batch width at which the merge switches from the rank strategy (few
+#: NumPy calls, O(l_n * l_t) element work) to the step strategy
+#: (l_n * ~8 calls, O(l_n + l_t) element work).  Both are exact; this
+#: only trades constant factors — measured on l_n=64/l_t=16 shapes the
+#: curves cross between m=64 (rank 1.6x faster) and m=256 (step 1.1x
+#: faster).
+_STEP_MERGE_MIN_ROWS = 128
+
+
+def ganns_search_fast(graph: ProximityGraph, points: np.ndarray,
+                      queries: np.ndarray, params: SearchParams,
+                      entries: np.ndarray,
+                      costs: CostTable,
+                      lazy_check: bool,
+                      compute_dtype: np.dtype) -> SearchReport:
+    """Run the batched GANNS search on the fast backend.
+
+    Called by :func:`repro.core.ganns.ganns_search` after argument
+    validation; ``entries`` is the already-broadcast ``(m,)`` entry-id
+    array and ``compute_dtype`` the resolved distance dtype.
+    """
+    n_queries = len(queries)
+    n_dims = points.shape[1]
+    l_n = params.l_n
+    l_t = graph.d_max
+    e_budget = min(params.explore_budget, l_n)
+    n_t = params.n_threads
+    k = params.k
+
+    tracker = make_search_tracker(n_queries, "ganns")
+    engine = make_distance_engine(graph.metric_name, points, queries,
+                                  compute_dtype)
+    arena = get_arena(n_queries, l_n, l_t, compute_dtype)
+    m = arena.reset(n_queries)
+
+    out_ids = np.empty((n_queries, k), dtype=np.int64)
+    out_dists = np.empty((n_queries, k), dtype=compute_dtype)
+
+    # Initialisation: load the entry vertex into N.
+    entry_dists = engine.pairs(arena.rows[:m], entries[:, None])[:, 0]
+    arena.pool_dists[:m, 0] = entry_dists
+    arena.pool_ids[:m, 0] = entries
+    arena.pool_explored[:m, 0] = False
+    tracker.charge("bulk_distance",
+                   costs.single_distance_cycles(n_dims, n_t))
+    n_distance_computations = n_queries
+
+    locate_cost = costs.ganns_candidate_locate_cycles(l_n, n_t)
+    explore_cost = costs.ganns_explore_cycles(l_t, n_t)
+    check_cost = costs.ganns_lazy_check_cycles(l_n, l_t, n_t)
+    sort_cost = costs.ganns_sort_cycles(l_t, n_t)
+    merge_cost = costs.ganns_merge_cycles(l_n, l_t, n_t)
+    per_vector_cost = costs.single_distance_cycles(n_dims, n_t)
+
+    iterations = np.zeros(n_queries, dtype=np.int64)
+    max_iterations = _MAX_ITERATION_FACTOR * e_budget + 256
+    col_a = np.arange(l_n, dtype=np.int64)
+    col_b = np.arange(l_t, dtype=np.int64)
+    # Row keys for the flat duplicate probe: id ranges per row must not
+    # overlap; ids live in [-1, n_vertices - 1] so a stride of
+    # n_vertices + 2 keeps rows strictly separated.
+    id_stride = np.int64(graph.n_vertices + 2)
+
+    while m > 0:
+        # Phase 1 — candidate locating.  query_rows[:m] is exactly the
+        # reference's np.flatnonzero(active): compaction keeps rows in
+        # ascending original order, so the tracker sees the same lanes.
+        act = arena.query_rows[:m]
+        tracker.charge("candidate_locating", locate_cost, act)
+        window = ~arena.pool_explored[:m, :e_budget]
+        has_work = window.any(axis=1)
+        slot = np.argmax(window[has_work], axis=1)
+        if not has_work.all():
+            done = np.flatnonzero(~has_work)
+            done_queries = arena.query_rows[done]
+            out_ids[done_queries] = arena.pool_ids[done, :k]
+            out_dists[done_queries] = arena.pool_dists[done, :k]
+            m = arena.compact(m, has_work)
+            if m == 0:
+                break
+            act = arena.query_rows[:m]
+        rows = arena.rows[:m]
+        iterations[act] += 1
+        if iterations.max() > max_iterations:
+            raise SearchError(
+                f"search exceeded {max_iterations} iterations; the graph "
+                f"is likely structurally corrupt"
+            )
+        exploring = arena.pool_ids[rows, slot]
+        arena.pool_explored[rows, slot] = True
+
+        # Phase 2 — neighborhood exploration: stream adjacency rows
+        # into the arena's T buffer (no intermediate copy).
+        tracker.charge("neighborhood_exploration", explore_cost, act)
+        t_ids = arena.t_ids[:m]
+        np.take(graph.neighbor_ids, exploring, axis=0, out=t_ids)
+        valid = t_ids >= 0
+        degrees = graph.degrees[exploring]
+
+        # Phase 3 — bulk distance computation (negative ids clip to
+        # point 0 inside the engine and are overwritten with +inf).
+        t_dists = engine.pairs(act, t_ids)
+        t_dists[~valid] = np.inf
+        tracker.charge("bulk_distance", degrees * per_vector_cost, act)
+        n_distance_computations += int(degrees.sum())
+
+        # Phase 4 — lazy check via row-offset searchsorted: sort each
+        # pool row by id once, probe all of T against the flat sorted
+        # key space (rows separated by id_stride).
+        if lazy_check:
+            tracker.charge("lazy_check", check_cost, act)
+            ids_sorted = arena.ids_sorted[:m]
+            ids_sorted[:] = arena.pool_ids[:m]
+            ids_sorted.sort(axis=1)
+            offsets = rows[:, None] * id_stride
+            flat_pool = (ids_sorted + offsets).ravel()
+            flat_t = (t_ids + offsets).ravel()
+            pos = np.searchsorted(flat_pool, flat_t)
+            np.minimum(pos, flat_pool.size - 1, out=pos)
+            duplicate = (flat_pool[pos] == flat_t).reshape(m, l_t)
+            dead = duplicate | ~valid
+        else:
+            dead = ~valid
+        t_dists[dead] = np.inf
+        t_ids[dead] = -1
+
+        # Phase 5 — sort T by (distance, id).  Records with equal keys
+        # are identical (+inf, -1) pads, so any (dist, id) sort yields
+        # the reference's exact T sequence.
+        tracker.charge("sorting", sort_cost, act)
+        order = np.lexsort((t_ids, t_dists), axis=1)
+        t_dists = np.take_along_axis(t_dists, order, axis=1)
+        t_ids_sorted = np.take_along_axis(t_ids, order, axis=1)
+
+        # Phase 6 — candidate update: merge the two sorted runs into the
+        # alternate pool buffer.  Both strategies below reproduce the
+        # reference lexsort's stability exactly (pool wins ties on equal
+        # (dist, id)); they differ only in constant factors, so the
+        # batch width picks:
+        #
+        # - wide batches: a two-pointer step merge — l_n vectorised
+        #   steps of O(m) work each, linear in l_n + l_t;
+        # - narrow batches (the long tail where a few slow queries keep
+        #   iterating): a rank merge — each record's merged position is
+        #   its run index plus the count of strictly-preceding records
+        #   in the other run, one broadcast comparison for the whole
+        #   batch.  Quadratic in l_n * l_t but a dozen NumPy calls
+        #   total, which is what matters when m is tiny.
+        #
+        # Keys form a total order (no NaNs; see module docstring), so in
+        # the rank merge the T-side count is the complement of the
+        # pool-side one, and ranks are a bijection onto the merged
+        # positions — every output slot below l_n is written exactly
+        # once.
+        tracker.charge("candidate_update", merge_cost, act)
+        if m >= _STEP_MERGE_MIN_ROWS:
+            # Flat views + flat cursors: every gather is a 1-D ``take``
+            # (cheaper than pairwise fancy indexing), and the padded T
+            # run's sentinel column means the B cursor never needs a
+            # bounds check — the sentinel loses every comparison, even
+            # against the pool's own (+inf, -1) padding.
+            pd_flat = arena.pool_dists.ravel()
+            pi_flat = arena.pool_ids.ravel()
+            pe_flat = arena.pool_explored.ravel()
+            arena.t_dists_pad[:m, :l_t] = t_dists
+            arena.t_ids_pad[:m, :l_t] = t_ids_sorted
+            td_flat = arena.t_dists_pad.ravel()
+            ti_flat = arena.t_ids_pad.ravel()
+            fa = arena.merge_fa[:m]
+            fb = arena.merge_fb[:m]
+            fa[:] = arena.row_base_a[:m]
+            fb[:] = arena.row_base_b[:m]
+            tmp_d = arena.out_dists
+            tmp_i = arena.out_ids
+            tmp_e = arena.out_explored
+            filled = l_n
+            for out_slot in range(l_n):
+                a_dist = pd_flat.take(fa)
+                a_id = pi_flat.take(fa)
+                b_dist = td_flat.take(fb)
+                b_id = ti_flat.take(fb)
+                take_a = ((a_dist < b_dist)
+                          | ((a_dist == b_dist) & (a_id <= b_id)))
+                tmp_d[out_slot, :m] = np.where(take_a, a_dist, b_dist)
+                tmp_i[out_slot, :m] = np.where(take_a, a_id, b_id)
+                tmp_e[out_slot, :m] = np.where(
+                    take_a, pe_flat.take(fa), b_id < 0)
+                fa += take_a
+                fb += ~take_a
+                # Every fourth slot, test whether the tail can still
+                # change: if each row's last reachable pool record wins
+                # against that row's current T record, every remaining
+                # output is a straight run of pool entries (both runs
+                # are sorted, ties go to the pool) — one bulk gather
+                # finishes the merge.  In converged iterations T is
+                # mostly duplicates, so this fires almost immediately.
+                if (out_slot & 3) == 3 and out_slot + 1 < l_n:
+                    rem = l_n - 1 - out_slot
+                    tail = fa + (rem - 1)
+                    a_dist = pd_flat.take(tail)
+                    a_id = pi_flat.take(tail)
+                    b_dist = td_flat.take(fb)
+                    b_id = ti_flat.take(fb)
+                    pure_a = ((a_dist < b_dist)
+                              | ((a_dist == b_dist) & (a_id <= b_id)))
+                    if pure_a.all():
+                        idx = fa[:, None] + col_a[:rem]
+                        arena.pool_dists[:m, out_slot + 1:] = \
+                            pd_flat.take(idx)
+                        arena.pool_ids[:m, out_slot + 1:] = \
+                            pi_flat.take(idx)
+                        arena.pool_explored[:m, out_slot + 1:] = \
+                            pe_flat.take(idx)
+                        filled = out_slot + 1
+                        break
+            # The merged head lands back in the (live) pool buffers —
+            # the wide path never swaps.
+            arena.pool_dists[:m, :filled] = tmp_d[:filled, :m].T
+            arena.pool_ids[:m, :filled] = tmp_i[:filled, :m].T
+            arena.pool_explored[:m, :filled] = tmp_e[:filled, :m].T
+        else:
+            a_dist = arena.pool_dists[:m]
+            a_id = arena.pool_ids[:m]
+            b_before_a = ((t_dists[:, None, :] < a_dist[:, :, None])
+                          | ((t_dists[:, None, :] == a_dist[:, :, None])
+                             & (t_ids_sorted[:, None, :]
+                                < a_id[:, :, None])))
+            a_rank = col_a + b_before_a.sum(axis=2)
+            b_rank = col_b + l_n - b_before_a.sum(axis=1)
+            keep_a = a_rank < l_n
+            keep_b = b_rank < l_n
+            mrows = np.broadcast_to(arena.rows[:m, None], keep_a.shape)
+            alt_d, alt_i = arena.alt_dists, arena.alt_ids
+            alt_e = arena.alt_explored
+            alt_d[mrows[keep_a], a_rank[keep_a]] = a_dist[keep_a]
+            alt_i[mrows[keep_a], a_rank[keep_a]] = a_id[keep_a]
+            alt_e[mrows[keep_a], a_rank[keep_a]] = \
+                arena.pool_explored[:m][keep_a]
+            mrows_b = np.broadcast_to(arena.rows[:m, None], keep_b.shape)
+            t_explored = t_ids_sorted < 0
+            alt_d[mrows_b[keep_b], b_rank[keep_b]] = t_dists[keep_b]
+            alt_i[mrows_b[keep_b], b_rank[keep_b]] = t_ids_sorted[keep_b]
+            alt_e[mrows_b[keep_b], b_rank[keep_b]] = t_explored[keep_b]
+            arena.swap_pools()
+
+    shared_mem = SharedMemoryBudget(l_n=l_n, l_t=l_t).total_bytes()
+    return SearchReport(
+        algorithm="ganns",
+        ids=out_ids,
+        dists=out_dists,
+        tracker=tracker,
+        n_threads=n_t,
+        shared_mem_bytes=shared_mem,
+        iterations=iterations,
+        n_distance_computations=n_distance_computations,
+    )

@@ -39,6 +39,7 @@ tests pin both properties).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -73,6 +74,7 @@ from repro.observability.metrics import (
     MetricsRegistry,
 )
 from repro.observability.span import SpanTracer
+from repro.perf.backend import resolve_backend
 from repro.serve.cache import ResultCache
 from repro.serve.report import ServeReport
 from repro.serve.request import QueryRequest, RequestOutcome, RequestStatus
@@ -266,8 +268,10 @@ class ServeEngine:
             ServeError: On an out-of-order trace or a query whose
                 dimensionality does not match the served points.
         """
+        wall_start = time.perf_counter()
         trace = list(trace)
         signature = self.params.signature()
+        backend_name = resolve_backend(self.params.backend)
         scheduler = MicroBatchScheduler(self.policy)
         clock = _EngineClock()
         injector = (FaultInjector(self.faults)
@@ -561,6 +565,7 @@ class ServeEngine:
                     in kernel_tracker.phase_totals().items()}
                 cycle_attrs["cycles_total"] = \
                     kernel_tracker.total_cycles()
+                cycle_attrs["kernel.backend"] = backend_name
                 tracer.spans[compute_span].attributes.update(
                     cycle_attrs)
                 for event in consumed:
@@ -663,6 +668,13 @@ class ServeEngine:
         makespan = max(last_completion - first_arrival, 0.0)
         registry.gauge("serve.makespan_seconds").set(makespan)
         registry.gauge("serve.gpu_busy_seconds").set(gpu_busy)
+        # Host wall-clock of this replay — the one *volatile* metric the
+        # engine publishes (excluded from canonical snapshots; see
+        # repro.observability.metrics.VOLATILE_PREFIX).  This is what
+        # the fast/reference backends actually trade: simulated seconds
+        # and cycle charges are backend-invariant, wallclock is not.
+        wallclock = time.perf_counter() - wall_start
+        registry.gauge("perf.wallclock_seconds").set(wallclock)
         if tracer is not None:
             root_end = max(last_completion, last_arrival, root_start) \
                 if trace else root_start
@@ -681,6 +693,8 @@ class ServeEngine:
             else None,
             fault_report=fault_report if has_fault_machinery else None,
             metrics=registry,
+            wallclock_seconds=wallclock,
+            backend=backend_name,
         )
 
     def _cache_lookup(self, req: QueryRequest, signature: tuple

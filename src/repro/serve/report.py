@@ -61,6 +61,13 @@ class ServeReport:
             are *views* whose values must reconcile with the registry
             exactly — :meth:`verify_against_metrics` enforces it, and
             the observability invariant suite pins it.
+        wallclock_seconds: Host wall-clock the replay took.  Volatile:
+            it varies run to run, so it is excluded from
+            :meth:`to_bytes` (replay determinism is over *results*, not
+            host speed) but still reconciled against the registry's
+            ``perf.wallclock_seconds`` gauge.
+        backend: Resolved execution backend (``"reference"`` or
+            ``"fast"``) the replay dispatched with.
     """
 
     outcomes: List[RequestOutcome]
@@ -71,6 +78,8 @@ class ServeReport:
     cache_stats: Optional[object] = None
     fault_report: Optional[FaultReport] = None
     metrics: Optional[object] = None
+    wallclock_seconds: float = 0.0
+    backend: str = "reference"
 
     # ------------------------------------------------------------------
     # Populations
@@ -262,6 +271,10 @@ class ServeReport:
             f"  rejected      {self.n_rejected} "
             f"({self.rejection_rate:.1%})",
             f"  gpu busy      {self.gpu_utilisation:.1%} of makespan",
+            # Deliberately no wall-clock here: summaries are part of the
+            # CLI's byte-deterministic output; host seconds live in the
+            # volatile perf.wallclock_seconds gauge instead.
+            f"  backend       {self.backend}",
         ]
         if (self.n_degraded or self.n_failed or self.n_timed_out
                 or self.fault_report is not None):
@@ -333,6 +346,13 @@ class ServeReport:
             if fr.n_breaker_trips:
                 expectations["faults.breaker.open"] = \
                     fr.n_breaker_trips
+        # The wall-clock gauge is volatile (varies run to run), but
+        # within one replay the report and the registry must still hold
+        # the same reading — the engine publishes both from the same
+        # perf_counter delta.
+        if "perf.wallclock_seconds" in registry:
+            expectations["perf.wallclock_seconds"] = \
+                self.wallclock_seconds
         for name, expected in expectations.items():
             actual = registry.value(name, default=0.0)
             if actual != expected:

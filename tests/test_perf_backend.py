@@ -1,0 +1,129 @@
+"""Backend selection and dtype pinning for the fast execution path.
+
+The fast backend is strictly opt-in: with no explicit request and no
+``REPRO_BACKEND`` environment variable, every entry point runs the
+reference kernel, and nothing about the choice leaks into result
+identity (``SearchParams.signature``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nsw_cpu import build_nsw_cpu
+from repro.core.ganns import ganns_search
+from repro.core.params import SearchParams
+from repro.datasets.synthetic import gaussian_mixture
+from repro.errors import ConfigurationError, GraphError, SearchError
+from repro.graphs.adjacency import ProximityGraph
+from repro.perf.backend import (
+    BACKEND_ENV_VAR,
+    FAST,
+    REFERENCE,
+    VALID_BACKENDS,
+    resolve_backend,
+)
+from repro.perf.distance import resolve_compute_dtype
+
+
+class TestResolveBackend:
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend() == REFERENCE
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, REFERENCE)
+        assert resolve_backend(FAST) == FAST
+
+    def test_env_applies_when_no_explicit(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, FAST)
+        assert resolve_backend() == FAST
+
+    def test_empty_env_means_reference(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert resolve_backend() == REFERENCE
+
+    def test_invalid_explicit_raises(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            resolve_backend("cuda")
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "warp-speed")
+        with pytest.raises(ConfigurationError, match=BACKEND_ENV_VAR):
+            resolve_backend()
+
+    def test_valid_backends_is_the_pair(self):
+        assert set(VALID_BACKENDS) == {REFERENCE, FAST}
+
+
+class TestSearchParamsBackend:
+    def test_default_backend_is_none(self):
+        assert SearchParams().backend is None
+
+    @pytest.mark.parametrize("backend", [REFERENCE, FAST, None])
+    def test_valid_backends_accepted(self, backend):
+        assert SearchParams(backend=backend).backend == backend
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            SearchParams(backend="gpu")
+
+    def test_signature_excludes_backend(self):
+        ref = SearchParams(k=5, l_n=32, backend=REFERENCE)
+        fast = SearchParams(k=5, l_n=32, backend=FAST)
+        assert ref.signature() == fast.signature()
+
+    def test_with_overrides_revalidates(self):
+        params = SearchParams()
+        with pytest.raises(ConfigurationError):
+            params.with_overrides(backend="nope")
+
+
+class TestComputeDtype:
+    def test_default_is_float64(self):
+        pts = np.zeros((4, 3), dtype=np.float32)
+        qs = np.zeros((2, 3), dtype=np.float32)
+        assert resolve_compute_dtype(pts, qs) == np.dtype(np.float64)
+
+    def test_explicit_float32(self):
+        pts = np.zeros((4, 3), dtype=np.float32)
+        qs = np.zeros((2, 3), dtype=np.float32)
+        assert (resolve_compute_dtype(pts, qs, np.float32)
+                == np.dtype(np.float32))
+
+    def test_mixed_dtypes_raise(self):
+        pts = np.zeros((4, 3), dtype=np.float32)
+        qs = np.zeros((2, 3), dtype=np.float64)
+        with pytest.raises(SearchError, match="mixed-dtype"):
+            resolve_compute_dtype(pts, qs)
+
+    def test_unsupported_dtype_raises(self):
+        pts = np.zeros((4, 3), dtype=np.float64)
+        qs = np.zeros((2, 3), dtype=np.float64)
+        with pytest.raises(SearchError, match="float16"):
+            resolve_compute_dtype(pts, qs, np.float16)
+
+    def test_mixed_dtype_surfaces_through_search(self):
+        pts = gaussian_mixture(60, 8, seed=1).astype(np.float32)
+        qs = gaussian_mixture(4, 8, seed=2).astype(np.float64)
+        graph = build_nsw_cpu(pts, d_min=4, d_max=8).graph
+        with pytest.raises(SearchError, match="mixed-dtype"):
+            ganns_search(graph, pts, qs, SearchParams(k=4, l_n=8))
+
+
+class TestGraphDtypePinning:
+    def test_default_dtype_is_float64(self):
+        graph = ProximityGraph(4, 2)
+        assert graph.dtype == np.dtype(np.float64)
+        assert graph.neighbor_dists.dtype == np.dtype(np.float64)
+
+    def test_float32_rows_stay_float32(self):
+        graph = ProximityGraph(4, 2, dtype=np.float32)
+        graph.set_row(0, [1, 2], [0.25, 0.5])
+        assert graph.neighbor_dists.dtype == np.dtype(np.float32)
+        graph.merge_row(0, [3], [0.125])
+        assert graph.neighbor_dists.dtype == np.dtype(np.float32)
+        assert graph.copy().dtype == np.dtype(np.float32)
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(GraphError, match="dtype"):
+            ProximityGraph(4, 2, dtype=np.int32)
