@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-full bench-wallclock perf-smoke \
-	experiments examples clean
+	cluster-smoke experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -26,6 +26,17 @@ perf-smoke:
 	$(PYTHON) benchmarks/bench_wallclock.py --quick \
 		--output wallclock_smoke.json
 	$(PYTHON) scripts/check_perf_smoke.py wallclock_smoke.json
+
+# The CI cluster gate: 10x2 scatter-gather at 10x serve-smoke volume,
+# byte-identical replays, bounded p99, zero silent wrong answers.
+cluster-smoke:
+	$(PYTHON) -m repro cluster-sim \
+		--points 1000 --queries 200 --requests 2000 \
+		--qps 10000 --queries-per-request 10 \
+		--shards 10 --replicas 2 \
+		--fault-plan replica-loss --fault-seed 0 --no-governor \
+		| tee cluster-sim.out
+	$(PYTHON) scripts/check_cluster_smoke.py cluster-sim.out
 
 experiments:
 	$(PYTHON) scripts/collect_experiments.py

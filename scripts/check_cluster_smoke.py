@@ -1,0 +1,153 @@
+"""CI gate for the cluster smoke: 10x2 scatter-gather, nothing wrong.
+
+Usage::
+
+    python -m repro cluster-sim ... | tee cluster-sim.out
+    python scripts/check_cluster_smoke.py cluster-sim.out
+
+Checks, per the sharded-serving acceptance bar:
+
+1. The captured ``cluster-sim`` output carries a report digest line
+   (the command ran its zero-drift verification).
+2. An in-process 10-shard x 2-replica replay at >= 10x the
+   single-engine smoke's query volume (2,000 requests x 10 queries =
+   20,000 queries vs the 2,000-query serve smoke) completes with a
+   bounded p99.
+3. Two replays of that scenario produce byte-identical
+   ``ClusterReport`` encodings, and the report reconciles exactly with
+   its metrics registry.
+4. Zero silently-wrong answers under the seeded replica-loss plan:
+   every *complete* answer equals the offline merge of direct
+   per-shard GANNS searches over the same placement; every incomplete
+   answer is explicitly flagged (``PARTIAL`` with named missing
+   shards, or ``FAILED``).
+
+Exit code 0 when all hold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+#: Frozen smoke scenario.
+N_POINTS = 1000
+N_POOL = 200
+N_REQUESTS = 2000
+QUERIES_PER_REQUEST = 10
+MEAN_QPS = 10_000.0
+N_SHARDS = 10
+N_REPLICAS = 2
+FAULT_SEED = 0
+P99_BOUND_SECONDS = 0.25
+
+
+def check_output_file(path: str) -> None:
+    """Assert the captured cluster-sim output verified its report."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if "ClusterReport:" not in text:
+        raise SystemExit(
+            f"{path}: no ClusterReport summary found — did cluster-sim "
+            f"run?")
+    if "report digest" not in text:
+        raise SystemExit(f"{path}: no report digest line found")
+
+
+def run_smoke():
+    """The in-process 10x2 battery; returns (report, n_wrong)."""
+    from repro.cluster import ClusterEngine, merge_topk
+    from repro.core.ganns import ganns_search
+    from repro.core.params import SearchParams
+    from repro.datasets.catalog import load_dataset
+    from repro.faults import named_fault_plan
+    from repro.serve import synthetic_trace
+
+    dataset = load_dataset("sift1m", n_points=N_POINTS,
+                           n_queries=N_POOL)
+    params = SearchParams(k=10, l_n=64)
+    trace = synthetic_trace(dataset.queries, N_REQUESTS,
+                            mean_qps=MEAN_QPS,
+                            queries_per_request=QUERIES_PER_REQUEST,
+                            seed=0)
+    n_queries = sum(req.n_queries for req in trace)
+    assert n_queries >= 10 * 2000, (
+        f"smoke volume {n_queries} below 10x the single-engine smoke")
+    plan = named_fault_plan(
+        "replica-loss",
+        horizon_seconds=2.0 * N_REQUESTS / MEAN_QPS,
+        seed=FAULT_SEED, n_workers=N_SHARDS * N_REPLICAS)
+    engine = ClusterEngine(dataset.points, n_shards=N_SHARDS,
+                           n_replicas=N_REPLICAS, params=params,
+                           faults=plan)
+    report = engine.replay(trace)
+    report.verify_against_metrics()
+
+    second = engine.replay(trace)
+    if report.to_bytes() != second.to_bytes():
+        raise SystemExit(
+            "FAIL: two replays of the same scenario produced "
+            "different report bytes")
+
+    # Offline reference: direct per-shard GANNS over the query pool,
+    # merged exactly — what every complete answer must equal.
+    pool = dataset.queries
+    pool_row = {pool[i].tobytes(): i for i in range(len(pool))}
+    shard_ids, shard_dists = [], []
+    for shard in range(N_SHARDS):
+        result = ganns_search(engine.shard_graphs[shard],
+                              engine.shard_points[shard], pool, params)
+        shard_ids.append(
+            engine.shard_map.to_global(shard, result.ids))
+        shard_dists.append(result.dists)
+    ref_ids, ref_dists = merge_topk(params.k, shard_ids, shard_dists)
+
+    n_wrong = 0
+    for pos, outcome in enumerate(report.outcomes):
+        if not outcome.complete:
+            # Never silent: partial answers must name missing shards.
+            if outcome.answered and not outcome.missing_shards:
+                n_wrong += 1
+            continue
+        if outcome.degraded_tier != 0:
+            continue
+        rows = [pool_row[q.tobytes()] for q in trace[pos].queries]
+        if not (np.array_equal(outcome.ids, ref_ids[rows])
+                and np.array_equal(outcome.dists, ref_dists[rows])):
+            n_wrong += 1
+    return report, n_wrong
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    check_output_file(argv[1])
+    print("cluster-sim output: summary and digest present")
+    report, n_wrong = run_smoke()
+    print(f"replay: {report.n_requests} requests "
+          f"({report.answered_queries} queries answered) on "
+          f"{report.n_shards}x{report.n_replicas}, "
+          f"p99 {report.p99_latency * 1e3:.3f} ms, "
+          f"{report.n_failovers} failovers, "
+          f"{report.n_partial} partial, {n_wrong} wrong answers")
+    if report.n_served == 0:
+        print("FAIL: no request was served completely",
+              file=sys.stderr)
+        return 1
+    if report.p99_latency > P99_BOUND_SECONDS:
+        print(f"FAIL: p99 {report.p99_latency:.3f} s exceeds the "
+              f"{P99_BOUND_SECONDS} s bound", file=sys.stderr)
+        return 1
+    if n_wrong:
+        print(f"FAIL: {n_wrong} answers diverge from the offline "
+              f"per-shard merge or degrade silently", file=sys.stderr)
+        return 1
+    print("cluster smoke OK (byte-identical replays, bounded p99, "
+          "zero silent wrong answers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

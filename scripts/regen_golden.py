@@ -10,6 +10,9 @@ exactly the goldens it invalidates:
 ``--trace`` rewrites ``tests/data/trace_golden.json.gz`` — the frozen
 chaos-serving scenario of ``tests/test_trace_golden.py``, gzip-packed
 with ``mtime=0`` so the archive bytes themselves are reproducible.
+``--cluster-trace`` rewrites ``tests/data/cluster_trace_golden.json.gz``
+— the frozen sharded-cluster scenario of
+``tests/test_cluster_trace_golden.py``, same packing.
 (The GANNS search golden has its own legacy path:
 ``PYTHONPATH=src python tests/test_golden_determinism.py
 --regenerate``.)
@@ -35,15 +38,33 @@ def regen_trace() -> None:
     print(f"wrote {GOLDEN_PATH} ({len(payload):,} bytes uncompressed)")
 
 
+def regen_cluster_trace() -> None:
+    from tests.test_cluster_trace_golden import (
+        GOLDEN_PATH,
+        compute_golden_cluster_trace,
+        write_golden,
+    )
+    payload = compute_golden_cluster_trace()
+    write_golden(payload)
+    print(f"wrote {GOLDEN_PATH} ({len(payload):,} bytes uncompressed)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="regenerate committed golden artifacts")
     parser.add_argument("--trace", action="store_true",
                         help="regenerate tests/data/trace_golden.json.gz")
+    parser.add_argument("--cluster-trace", action="store_true",
+                        help="regenerate "
+                             "tests/data/cluster_trace_golden.json.gz")
     args = parser.parse_args(argv)
-    if not args.trace:
-        parser.error("nothing selected; pass --trace")
-    regen_trace()
+    if not args.trace and not args.cluster_trace:
+        parser.error("nothing selected; pass --trace and/or "
+                     "--cluster-trace")
+    if args.trace:
+        regen_trace()
+    if args.cluster_trace:
+        regen_cluster_trace()
     return 0
 
 

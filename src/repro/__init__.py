@@ -16,6 +16,8 @@ The package provides:
 - **GannsIndex**: the one-object high-level API.
 - **Serving** (:mod:`repro.serve`): dynamic micro-batching, result
   caching and admission control for online query traffic.
+- **Cluster** (:mod:`repro.cluster`): sharded multi-replica serving
+  with scatter-gather top-k merge and replica failover.
 
 Quickstart:
     >>> import numpy as np
@@ -36,6 +38,7 @@ from repro.errors import (
     ConstructionError,
     ServeError,
     OverloadError,
+    ClusterError,
     FaultError,
     KernelTimeoutError,
     MemoryFaultError,
@@ -85,6 +88,15 @@ from repro.faults import (
     RetryPolicy,
     named_fault_plan,
 )
+from repro.cluster import (
+    ClusterEngine,
+    ClusterReport,
+    ConsistentHashRing,
+    ReplicaRouter,
+    RouterPolicy,
+    ShardMap,
+    merge_topk,
+)
 
 __all__ = [
     "__version__",
@@ -97,6 +109,7 @@ __all__ = [
     "ConstructionError",
     "ServeError",
     "OverloadError",
+    "ClusterError",
     "FaultError",
     "KernelTimeoutError",
     "MemoryFaultError",
@@ -142,4 +155,11 @@ __all__ = [
     "FaultReport",
     "RetryPolicy",
     "named_fault_plan",
+    "ClusterEngine",
+    "ClusterReport",
+    "ConsistentHashRing",
+    "ReplicaRouter",
+    "RouterPolicy",
+    "ShardMap",
+    "merge_topk",
 ]

@@ -67,6 +67,15 @@ class OverloadError(ServeError):
     """
 
 
+class ClusterError(ServeError):
+    """The sharded serving cluster was misused or misconfigured.
+
+    Examples: a shard placement that leaves a shard empty or smaller
+    than ``k``, a replica topology with no replicas, or a scatter-gather
+    merge over mismatched per-shard result shapes.
+    """
+
+
 class ObservabilityError(ReproError):
     """The observability layer was misused, or a trace is malformed.
 

@@ -256,19 +256,32 @@ _NAMED_RECIPES: Dict[str, Dict[str, float]] = {
         # breaker trips.
         FAULT_KERNEL_TIMEOUT: 600.0,
     },
+    "replica-loss": {
+        # Query-path chaos for the serving cluster: replica deaths plus
+        # background kernel flakiness, so failover and the retry lane
+        # both exercise.  Pass n_workers = shards * replicas so losses
+        # target real slots.
+        FAULT_WORKER_LOSS: 30.0,
+        FAULT_KERNEL_STALL: 30.0,
+        FAULT_KERNEL_TIMEOUT: 10.0,
+    },
 }
 
 
 def named_fault_plan(name: str, horizon_seconds: float,
-                     seed: int = 0) -> FaultPlan:
+                     seed: int = 0, n_workers: int = 0) -> FaultPlan:
     """Build one of the named chaos recipes (see ``fault_plan_names``).
 
     Args:
         name: Recipe name (``none``, ``mild``, ``aggressive``,
-            ``memory``, ``blackout``).
+            ``memory``, ``blackout``, ``replica-loss``).
         horizon_seconds: Simulated length the plan should cover —
             typically the expected trace duration with headroom.
         seed: Plan seed.
+        n_workers: Cluster slot count for ``worker_loss`` targeting
+            (``shards * replicas`` for the serving cluster); with the
+            default ``0``, loss events carry ``target=-1`` and
+            consumers fold them onto slots deterministically.
     """
     if name not in _NAMED_RECIPES:
         raise ConfigurationError(
@@ -276,7 +289,7 @@ def named_fault_plan(name: str, horizon_seconds: float,
             f"{sorted(_NAMED_RECIPES)}"
         )
     return FaultPlan.poisson(_NAMED_RECIPES[name], horizon_seconds,
-                             seed=seed)
+                             seed=seed, n_workers=n_workers)
 
 
 def fault_plan_names() -> List[str]:

@@ -1,0 +1,321 @@
+"""Unit and integration tests for the sharded serving cluster.
+
+Covers consistent-hash placement, the replica router, the
+scatter-gather replay itself (including its equivalence to a plain
+single :class:`ServeEngine` on a one-shard topology), report/metrics
+reconciliation, and the per-shard ground-truth helper's small-shard
+denominator fix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterEngine,
+    ClusterStatus,
+    ConsistentHashRing,
+    ReplicaRouter,
+    RouterPolicy,
+    ShardMap,
+    hash64,
+    merge_topk,
+)
+from repro.baselines.nsw_cpu import build_nsw_cpu
+from repro.core.params import SearchParams
+from repro.datasets.ground_truth import exact_knn
+from repro.datasets.synthetic import gaussian_mixture
+from repro.errors import ClusterError
+from repro.extensions.distributed import shard_ground_truth
+from repro.faults.plan import (
+    FAULT_NETWORK_PARTITION,
+    FAULT_WORKER_LOSS,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.metrics.recall import recall_per_query
+from repro.observability import MetricsRegistry, SpanTracer
+from repro.serve import QueryRequest, ServeEngine, synthetic_trace
+
+PARAMS = SearchParams(k=8, l_n=32, e=2)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return gaussian_mixture(400, 16, n_clusters=5, cluster_std=0.4,
+                            seed=11)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return gaussian_mixture(64, 16, n_clusters=5, cluster_std=0.4,
+                            seed=12)
+
+
+@pytest.fixture(scope="module")
+def cluster(corpus):
+    return ClusterEngine(corpus, n_shards=4, n_replicas=2,
+                         params=PARAMS)
+
+
+class TestPlacement:
+    def test_hash64_is_stable_across_calls(self):
+        assert hash64(b"repro") == hash64(b"repro")
+        assert hash64(b"repro") != hash64(b"repr0")
+
+    def test_assignment_is_deterministic_and_covers(self):
+        ring = ConsistentHashRing(4)
+        a = ring.assign(500)
+        b = ConsistentHashRing(4).assign(500)
+        np.testing.assert_array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 4
+
+    def test_consistent_hashing_is_stable_under_growth(self):
+        # Growing 4 -> 5 shards must move only a minority of keys.
+        before = ConsistentHashRing(4).assign(2000)
+        after = ConsistentHashRing(5).assign(2000)
+        moved = np.mean(before != after)
+        assert moved < 0.5
+
+    def test_salt_namespaces_rings(self):
+        a = ConsistentHashRing(4, salt=0).assign(300)
+        b = ConsistentHashRing(4, salt=1).assign(300)
+        assert not np.array_equal(a, b)
+
+    def test_shard_map_members_partition_the_corpus(self):
+        ring = ConsistentHashRing(3)
+        shard_map = ShardMap.from_ring(600, ring)
+        union = np.concatenate(shard_map.members)
+        np.testing.assert_array_equal(np.sort(union), np.arange(600))
+        assert sum(shard_map.shard_sizes()) == 600
+
+    def test_to_global_translates_and_keeps_padding(self):
+        shard_map = ShardMap(np.array([1, 0, 1, 0, 1]), 2)
+        out = shard_map.to_global(1, np.array([[0, 2, -1]]))
+        np.testing.assert_array_equal(out, [[0, 4, -1]])
+
+    def test_empty_shard_raises(self):
+        with pytest.raises(ClusterError):
+            ShardMap(np.zeros(10, dtype=int), 2)
+
+    def test_invalid_topology_raises(self):
+        with pytest.raises(ClusterError):
+            ConsistentHashRing(0)
+        with pytest.raises(ClusterError):
+            ShardMap(np.array([0, 3]), 2)
+
+
+class TestRouter:
+    def test_round_robin_spreads_load(self):
+        router = ReplicaRouter(1, 3)
+        picks = [router.route(0, 0.0).replica for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_undetected_death_bounces_with_penalty(self):
+        plan = FaultPlan([FaultEvent(FAULT_WORKER_LOSS, 1.0,
+                                     target=0)])
+        policy = RouterPolicy(heartbeat_seconds=1.0,
+                              failover_penalty_seconds=0.5)
+        router = ReplicaRouter(1, 2, policy=policy, plan=plan)
+        # At t=1.5 replica 0 is dead but not yet masked.
+        decision = router.route(0, 1.5)
+        assert decision.replica == 1
+        assert decision.n_failovers == 1
+        assert decision.penalty_seconds == pytest.approx(0.5)
+
+    def test_masked_death_routes_clean(self):
+        plan = FaultPlan([FaultEvent(FAULT_WORKER_LOSS, 1.0,
+                                     target=0)])
+        policy = RouterPolicy(heartbeat_seconds=0.1)
+        router = ReplicaRouter(1, 2, policy=policy, plan=plan)
+        for _ in range(4):
+            decision = router.route(0, 5.0)
+            assert decision.replica == 1
+            assert decision.n_failovers == 0
+
+    def test_whole_shard_dead_is_flagged(self):
+        plan = FaultPlan([
+            FaultEvent(FAULT_WORKER_LOSS, 1.0, target=0),
+            FaultEvent(FAULT_WORKER_LOSS, 1.0, target=1),
+        ])
+        router = ReplicaRouter(1, 2, plan=plan)
+        assert router.route(0, 10.0).shard_dead
+
+    def test_out_of_range_targets_fold_deterministically(self):
+        plan = FaultPlan([FaultEvent(FAULT_WORKER_LOSS, 1.0,
+                                     target=99)])
+        a = ReplicaRouter(2, 2, plan=plan)
+        b = ReplicaRouter(2, 2, plan=plan)
+        assert a.death_at == b.death_at
+        assert a.n_loss_events == 1
+
+    def test_sibling_excludes_and_respects_death(self):
+        plan = FaultPlan([FaultEvent(FAULT_WORKER_LOSS, 1.0,
+                                     target=1)])
+        router = ReplicaRouter(1, 3, plan=plan)
+        assert router.sibling(0, (0,), 5.0) == 2
+        assert router.sibling(0, (0, 2), 5.0) is None
+
+    def test_partition_windows_sorted(self):
+        plan = FaultPlan([
+            FaultEvent(FAULT_NETWORK_PARTITION, 2.0, magnitude=0.5),
+            FaultEvent(FAULT_NETWORK_PARTITION, 0.5, magnitude=0.25),
+        ])
+        router = ReplicaRouter(1, 1)
+        assert router.partition_windows(plan) == [
+            (0.5, 0.75), (2.0, 2.5)]
+
+
+class TestClusterReplay:
+    def test_replay_serves_everything_without_faults(self, cluster,
+                                                     pool):
+        trace = synthetic_trace(pool, 30, mean_qps=2000.0, seed=5)
+        report = cluster.replay(trace)
+        assert report.n_served == 30
+        assert report.n_partial == 0 and report.n_failed == 0
+        for outcome in report.outcomes:
+            assert outcome.status is ClusterStatus.SERVED
+            assert outcome.n_shards_answered == 4
+            assert (outcome.ids >= 0).all()
+            assert outcome.completion_seconds > outcome.arrival_seconds
+
+    def test_merged_ids_are_globally_consistent(self, cluster, corpus,
+                                                pool):
+        trace = synthetic_trace(pool, 10, mean_qps=2000.0, seed=6)
+        report = cluster.replay(trace)
+        for pos, outcome in enumerate(report.outcomes):
+            # Merged distances must match the actual global (squared
+            # euclidean, the repo's metric convention) distances.
+            queries = trace[pos].queries
+            diffs = (corpus[outcome.ids[0]].astype(np.float64)
+                     - queries[0])
+            np.testing.assert_allclose((diffs ** 2).sum(axis=1),
+                                       outcome.dists[0], rtol=1e-4)
+
+    def test_single_shard_cluster_matches_serve_engine(self, corpus,
+                                                       pool):
+        trace = synthetic_trace(pool, 20, mean_qps=2000.0, seed=7)
+        single = ClusterEngine(corpus, n_shards=1, n_replicas=1,
+                               params=PARAMS)
+        creport = single.replay(trace)
+        graph = build_nsw_cpu(corpus, d_min=8, d_max=16).graph
+        sreport = ServeEngine(graph, corpus, PARAMS).replay(trace)
+        for cout, sout in zip(creport.outcomes, sreport.outcomes):
+            # Normalize the engine's rows to the merge's (dist, id)
+            # order before comparing.
+            order = np.lexsort((sout.ids.astype(np.int64),
+                                sout.dists.astype(np.float64)), axis=1)
+            want = np.take_along_axis(sout.ids.astype(np.int64),
+                                      order, axis=1)
+            np.testing.assert_array_equal(cout.ids, want)
+
+    def test_report_reconciles_with_metrics(self, cluster, pool):
+        trace = synthetic_trace(pool, 25, mean_qps=2000.0, seed=8)
+        registry = MetricsRegistry()
+        report = cluster.replay(trace, metrics=registry)
+        report.verify_against_metrics()
+        assert registry.value("cluster.requests") == 25
+        assert registry.value("cluster.shard_queries") == 25 * 4
+
+    def test_tracer_output_is_valid_and_shaped(self, cluster, pool):
+        trace = synthetic_trace(pool, 15, mean_qps=2000.0, seed=9)
+        tracer = SpanTracer()
+        cluster.replay(trace, tracer=tracer)
+        tracer.finish()
+        tracer.validate()
+        roots = tracer.roots()
+        assert [r.name for r in roots] == ["cluster.replay"]
+        assert len(tracer.find("cluster.request")) == 15
+        assert tracer.find("cluster.replica")
+        assert len(tracer.find("cluster.merge")) == 15
+
+    def test_out_of_order_trace_raises(self, cluster, pool):
+        reqs = [
+            QueryRequest(request_id=0, queries=pool[:1],
+                         arrival_seconds=1.0),
+            QueryRequest(request_id=1, queries=pool[1:2],
+                         arrival_seconds=0.5),
+        ]
+        with pytest.raises(ClusterError):
+            cluster.replay(reqs)
+
+    def test_dimension_mismatch_raises(self, cluster):
+        req = QueryRequest(request_id=0,
+                           queries=np.zeros((1, 7), dtype=np.float32),
+                           arrival_seconds=0.0)
+        with pytest.raises(ClusterError):
+            cluster.replay([req])
+
+    def test_undersized_shards_rejected_at_construction(self):
+        tiny = gaussian_mixture(20, 8, seed=3)
+        with pytest.raises(ClusterError):
+            ClusterEngine(tiny, n_shards=8, n_replicas=1,
+                          params=SearchParams(k=8, l_n=32))
+
+    def test_network_partition_delays_scatter(self, corpus, pool):
+        trace = synthetic_trace(pool, 5, mean_qps=2000.0, seed=10)
+        horizon = trace[-1].arrival_seconds + 1.0
+        plan = FaultPlan([FaultEvent(FAULT_NETWORK_PARTITION, 0.0,
+                                     magnitude=horizon)])
+        slow = ClusterEngine(corpus, n_shards=2, n_replicas=1,
+                             params=PARAMS, faults=plan)
+        fast = ClusterEngine(corpus, n_shards=2, n_replicas=1,
+                             params=PARAMS)
+        assert (slow.replay(trace).p99_latency
+                > fast.replay(trace).p99_latency)
+
+
+class TestShardGroundTruth:
+    """Regression: shards smaller than k must clamp and pad, so recall
+    denominators count only real neighbors."""
+
+    def test_merged_shard_truth_equals_global_truth(self, corpus,
+                                                    pool):
+        assignment = ConsistentHashRing(4).assign(len(corpus))
+        per_shard = shard_ground_truth(corpus, pool[:16], assignment,
+                                       k=10)
+        merged_ids, merged_dists = merge_topk(
+            10, [s["ids"] for s in per_shard],
+            [s["dists"] for s in per_shard])
+        want_ids, want_dists = exact_knn(corpus, pool[:16], 10,
+                                         return_distances=True)
+        np.testing.assert_array_equal(merged_ids, want_ids)
+        np.testing.assert_allclose(merged_dists, want_dists,
+                                   rtol=1e-6)
+
+    def test_shard_smaller_than_k_pads_instead_of_raising(self):
+        points = gaussian_mixture(30, 8, seed=4)
+        # Shard 1 holds only 3 points — fewer than k=5.
+        assignment = np.zeros(30, dtype=np.int64)
+        assignment[:3] = 1
+        queries = gaussian_mixture(6, 8, seed=5)
+        per_shard = shard_ground_truth(points, queries, assignment,
+                                       k=5)
+        small = per_shard[1]
+        assert small["ids"].shape == (6, 5)
+        assert (small["ids"][:, :3] >= 0).all()
+        assert (small["ids"][:, 3:] == -1).all()
+        assert np.isinf(small["dists"][:, 3:]).all()
+        # Real entries reference the shard's own members, globally.
+        assert set(np.unique(small["ids"][:, :3])) <= {0, 1, 2}
+
+    def test_padded_truth_keeps_recall_denominator_honest(self):
+        points = gaussian_mixture(30, 8, seed=4)
+        assignment = np.zeros(30, dtype=np.int64)
+        assignment[:2] = 1
+        queries = gaussian_mixture(4, 8, seed=5)
+        per_shard = shard_ground_truth(points, queries, assignment,
+                                       k=6)
+        truth = per_shard[1]["ids"]
+        # A perfect answer over the 2 real neighbors scores 1.0, not
+        # 2/6 — the padding must not inflate the denominator.
+        recall = recall_per_query(truth, truth)
+        np.testing.assert_allclose(recall, 1.0)
+
+    def test_invalid_inputs_raise(self, corpus):
+        from repro.errors import ConstructionError
+        with pytest.raises(ConstructionError):
+            shard_ground_truth(corpus, corpus[:2],
+                               np.zeros(3, dtype=int), 4)
+        with pytest.raises(ConstructionError):
+            shard_ground_truth(corpus, corpus[:2],
+                               np.zeros(len(corpus), dtype=int), 0)

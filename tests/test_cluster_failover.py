@@ -1,0 +1,201 @@
+"""Determinism and failover behavior of the serving cluster.
+
+Three claims pinned here:
+
+1. **Byte-identical replays** — the same trace, topology and fault
+   plan produce byte-identical :class:`ClusterReport` encodings,
+   including under aggressive seeded chaos.
+2. **Replica failover preserves answers** — killing any single replica
+   of a shard yields *exactly* the ids of the healthy run (failover
+   costs time, never correctness).
+3. **No silent degradation** — answers go partial only when a whole
+   shard is dead, and then the outcome is explicitly flagged with the
+   missing shard list.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterEngine, ClusterStatus, RouterPolicy
+from repro.core.params import SearchParams
+from repro.datasets.synthetic import gaussian_mixture
+from repro.faults import RetryPolicy, named_fault_plan
+from repro.faults.plan import (
+    FAULT_WORKER_LOSS,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.observability import MetricsRegistry, SpanTracer
+from repro.serve import synthetic_trace
+
+PARAMS = SearchParams(k=8, l_n=32, e=2)
+N_SHARDS = 3
+N_REPLICAS = 2
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return gaussian_mixture(360, 16, n_clusters=4, cluster_std=0.4,
+                            seed=21)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    pool = gaussian_mixture(48, 16, n_clusters=4, cluster_std=0.4,
+                            seed=22)
+    return synthetic_trace(pool, 40, mean_qps=2500.0, seed=23)
+
+
+def make_cluster(corpus, faults=None, **kwargs):
+    return ClusterEngine(corpus, n_shards=N_SHARDS,
+                         n_replicas=N_REPLICAS, params=PARAMS,
+                         faults=faults, **kwargs)
+
+
+def kill_replicas(slots, at=0.0):
+    """A plan that kills the given flat shard-replica slots."""
+    return FaultPlan([FaultEvent(FAULT_WORKER_LOSS, max(at, 1e-9),
+                                 target=slot) for slot in slots])
+
+
+class TestDeterminism:
+    def test_healthy_replays_are_byte_identical(self, corpus, trace):
+        cluster = make_cluster(corpus)
+        first = cluster.replay(trace)
+        second = cluster.replay(trace)
+        assert first.to_bytes() == second.to_bytes()
+        assert first.digest() == second.digest()
+
+    def test_chaos_replays_are_byte_identical(self, corpus, trace):
+        horizon = trace[-1].arrival_seconds + 0.05
+        plan = named_fault_plan(
+            "replica-loss", horizon, seed=13,
+            n_workers=N_SHARDS * N_REPLICAS)
+        cluster = make_cluster(corpus, faults=plan,
+                               retry=RetryPolicy(max_retries=2))
+        first = cluster.replay(trace)
+        second = cluster.replay(trace)
+        assert first.to_bytes() == second.to_bytes()
+        # Verification holds on every replay, not just the first.
+        second.verify_against_metrics()
+
+    def test_fresh_engine_reproduces_the_digest(self, corpus, trace):
+        horizon = trace[-1].arrival_seconds + 0.05
+        plan = named_fault_plan(
+            "replica-loss", horizon, seed=13,
+            n_workers=N_SHARDS * N_REPLICAS)
+        a = make_cluster(corpus, faults=plan).replay(trace)
+        b = make_cluster(corpus, faults=plan).replay(trace)
+        assert a.digest() == b.digest()
+
+    def test_different_fault_seeds_change_nothing_silently(
+            self, corpus, trace):
+        # Different seeds may change timing/outcomes, but every
+        # complete answer must carry ids; no empty-but-served rows.
+        horizon = trace[-1].arrival_seconds + 0.05
+        for seed in (1, 2, 3):
+            plan = named_fault_plan(
+                "replica-loss", horizon, seed=seed,
+                n_workers=N_SHARDS * N_REPLICAS)
+            report = make_cluster(corpus, faults=plan).replay(trace)
+            report.verify_against_metrics()
+            for outcome in report.outcomes:
+                if outcome.status is ClusterStatus.SERVED:
+                    assert outcome.ids is not None
+                    assert not outcome.missing_shards
+                elif outcome.status is ClusterStatus.PARTIAL:
+                    assert outcome.missing_shards
+                else:
+                    assert outcome.ids is None
+
+
+class TestReplicaFailover:
+    def test_killing_any_single_replica_preserves_ids(self, corpus,
+                                                      trace):
+        reference = make_cluster(corpus).replay(trace)
+        for replica in range(N_REPLICAS):
+            # Kill this replica of shard 1 before the trace starts.
+            plan = kill_replicas([1 * N_REPLICAS + replica])
+            report = make_cluster(corpus, faults=plan).replay(trace)
+            assert report.n_served == reference.n_served
+            assert report.n_partial == 0
+            for got, want in zip(report.outcomes,
+                                 reference.outcomes):
+                np.testing.assert_array_equal(got.ids, want.ids)
+                np.testing.assert_array_equal(got.dists, want.dists)
+
+    def test_undetected_death_pays_failover_penalty(self, corpus,
+                                                    trace):
+        # Huge heartbeat: the death is never masked, so round-robin
+        # keeps bouncing off the dead replica.
+        plan = kill_replicas([0])
+        policy = RouterPolicy(heartbeat_seconds=1e9,
+                              failover_penalty_seconds=5e-4)
+        report = make_cluster(corpus, faults=plan,
+                              router_policy=policy).replay(trace)
+        assert report.n_failovers > 0
+        assert report.n_served == len(trace)
+
+    def test_failovers_are_counted_and_traced(self, corpus, trace):
+        plan = kill_replicas([0])
+        policy = RouterPolicy(heartbeat_seconds=1e9,
+                              failover_penalty_seconds=5e-4)
+        tracer = SpanTracer()
+        report = make_cluster(corpus, faults=plan,
+                              router_policy=policy).replay(
+            trace, tracer=tracer)
+        tracer.finish()
+        tracer.validate()
+        events = [e for span in tracer.spans for e in span.events
+                  if e.name == "cluster.failover"]
+        assert len(events) >= report.n_failovers > 0
+
+
+class TestWholeShardLoss:
+    def test_whole_shard_loss_degrades_to_flagged_partial(
+            self, corpus, trace):
+        dead_shard = 1
+        plan = kill_replicas([dead_shard * N_REPLICAS + r
+                              for r in range(N_REPLICAS)])
+        report = make_cluster(corpus, faults=plan).replay(trace)
+        assert report.n_partial == len(trace)
+        assert report.n_failed == 0
+        reference = make_cluster(corpus).replay(trace)
+        dead_members = set(
+            make_cluster(corpus).shard_map.members[dead_shard]
+            .tolist())
+        for got, want in zip(report.outcomes, reference.outcomes):
+            assert got.status is ClusterStatus.PARTIAL
+            assert got.missing_shards == (dead_shard,)
+            assert got.n_shards_answered == N_SHARDS - 1
+            # The partial answer is the healthy shards' exact merge:
+            # its prefix is the reference ids minus the dead shard's
+            # members, backfilled with deeper healthy-shard neighbors.
+            survivors = [i for i in want.ids[0].tolist()
+                         if i not in dead_members]
+            got_real = [i for i in got.ids[0].tolist() if i >= 0]
+            assert got_real[:len(survivors)] == survivors
+            assert not dead_members.intersection(got_real)
+
+    def test_all_shards_dead_fails_every_request(self, corpus,
+                                                 trace):
+        plan = kill_replicas(range(N_SHARDS * N_REPLICAS))
+        report = make_cluster(corpus, faults=plan).replay(trace)
+        assert report.n_failed == len(trace)
+        assert report.n_served == 0
+        report.verify_against_metrics()
+        for outcome in report.outcomes:
+            assert outcome.status is ClusterStatus.FAILED
+            assert outcome.ids is None
+
+    def test_partial_results_reconcile_with_metrics(self, corpus,
+                                                    trace):
+        plan = kill_replicas([0, 1])
+        registry = MetricsRegistry()
+        report = make_cluster(corpus, faults=plan).replay(
+            trace, metrics=registry)
+        report.verify_against_metrics()
+        assert registry.value("cluster.outcomes.partial") == \
+            report.n_partial
+        assert registry.value("cluster.shard_misses") == \
+            report.n_shard_misses > 0

@@ -1,0 +1,114 @@
+"""Golden-file determinism for the cluster trace and report.
+
+The cluster's byte-determinism claim is pinned against a committed
+artifact: a frozen sharded-serving scenario (fixed corpus seeds, fixed
+topology, fixed replica-loss fault plan) must serialize to a span
+trace *byte-identical* to ``tests/data/cluster_trace_golden.json.gz``
+across runs, processes and releases.  Any change that moves a single
+byte — a reordered span, a different float path, a new attribute —
+fails this test and must either be fixed or consciously regenerate the
+golden:
+
+    PYTHONPATH=src python scripts/regen_golden.py --cluster-trace
+
+(the script rewrites the archive with ``gzip`` ``mtime=0`` so the
+archive itself is reproducible; say so in the commit message when you
+regenerate).
+"""
+
+import gzip
+import os
+
+from repro.cluster import ClusterEngine, RouterPolicy
+from repro.core.params import SearchParams
+from repro.datasets.synthetic import gaussian_mixture
+from repro.faults import RetryPolicy, named_fault_plan
+from repro.observability import MetricsRegistry, SpanTracer
+from repro.serve import BatchPolicy, synthetic_trace
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "cluster_trace_golden.json.gz")
+
+#: The frozen scenario.  Never change these values without regenerating
+#: the golden file (and saying so in the commit message).
+N_POINTS = 300
+N_DIMS = 16
+POOL_SIZE = 80
+N_REQUESTS = 150
+MEAN_QPS = 25_000.0
+N_SHARDS = 6
+N_REPLICAS = 2
+SEED_POINTS = 52
+SEED_POOL = 53
+SEED_TRACE = 27
+SEED_FAULTS = 31
+D_MIN, D_MAX = 8, 16
+PARAMS = SearchParams(k=8, l_n=32, e=2)
+
+
+def compute_golden_cluster_trace() -> bytes:
+    """Run the frozen scenario from scratch; returns the trace bytes."""
+    points = gaussian_mixture(N_POINTS, N_DIMS, n_clusters=6,
+                              cluster_std=0.3, intrinsic_dim=6,
+                              seed=SEED_POINTS)
+    pool = gaussian_mixture(POOL_SIZE, N_DIMS, n_clusters=6,
+                            cluster_std=0.3, intrinsic_dim=6,
+                            seed=SEED_POOL)
+    plan = named_fault_plan(
+        "replica-loss",
+        horizon_seconds=2.0 * N_REQUESTS / MEAN_QPS,
+        seed=SEED_FAULTS, n_workers=N_SHARDS * N_REPLICAS)
+    engine = ClusterEngine(
+        points, n_shards=N_SHARDS, n_replicas=N_REPLICAS,
+        params=PARAMS, d_min=D_MIN, d_max=D_MAX,
+        policy=BatchPolicy(max_batch=32, max_wait_seconds=5e-4,
+                           max_queue=512),
+        faults=plan,
+        retry=RetryPolicy(max_retries=2, base_seconds=2e-4,
+                          cap_seconds=2e-3),
+        router_policy=RouterPolicy(heartbeat_seconds=1e-3,
+                                   failover_penalty_seconds=2e-4))
+    trace = synthetic_trace(pool, N_REQUESTS, mean_qps=MEAN_QPS,
+                            repeat_fraction=0.3, seed=SEED_TRACE)
+    tracer = SpanTracer()
+    report = engine.replay(trace, tracer=tracer,
+                           metrics=MetricsRegistry())
+    tracer.finish()
+    tracer.validate()
+    report.verify_against_metrics()
+    return tracer.to_json_bytes()
+
+
+def write_golden(payload: bytes) -> None:
+    """Write the golden archive reproducibly (fixed gzip mtime)."""
+    with open(GOLDEN_PATH, "wb") as handle:
+        with gzip.GzipFile(fileobj=handle, mode="wb", mtime=0) as gz:
+            gz.write(payload)
+
+
+class TestClusterTraceGolden:
+    def test_golden_file_is_committed(self):
+        assert os.path.exists(GOLDEN_PATH), (
+            f"golden cluster trace missing at {GOLDEN_PATH}; "
+            f"regenerate with PYTHONPATH=src python "
+            f"scripts/regen_golden.py --cluster-trace"
+        )
+
+    def test_trace_matches_golden_byte_for_byte(self):
+        payload = compute_golden_cluster_trace()
+        with gzip.open(GOLDEN_PATH, "rb") as gz:
+            golden = gz.read()
+        assert payload == golden, (
+            "cluster trace bytes drifted from the committed golden; "
+            "if the change is intentional, regenerate with "
+            "PYTHONPATH=src python scripts/regen_golden.py "
+            "--cluster-trace"
+        )
+
+    def test_golden_is_a_valid_well_formed_trace(self):
+        with gzip.open(GOLDEN_PATH, "rb") as gz:
+            tracer = SpanTracer.from_json_bytes(gz.read())
+        tracer.validate()
+        assert tracer.roots()[0].name == "cluster.replay"
+        assert len(tracer.find("cluster.request")) == N_REQUESTS
+        assert tracer.find("cluster.replica")
