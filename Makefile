@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-full bench-wallclock perf-smoke \
-	cluster-smoke experiments examples clean
+	cluster-smoke mutate-smoke experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -37,6 +37,16 @@ cluster-smoke:
 		--fault-plan replica-loss --fault-seed 0 --no-governor \
 		| tee cluster-sim.out
 	$(PYTHON) scripts/check_cluster_smoke.py cluster-sim.out
+
+# The CI mutate gate: crash-chaos mutation workloads at >= 3 seeds,
+# byte-identical reruns, exact recovery digests, zero wrong answers.
+mutate-smoke:
+	$(PYTHON) -m repro mutate-sim \
+		--points 200 --dims 16 --ops 24 --seed 0 \
+		--compact-every 6 --checkpoint-every 9 \
+		--fault-plan compaction-crash --fault-seed 0 \
+		| tee mutate-sim.out
+	$(PYTHON) scripts/check_mutate_smoke.py mutate-sim.out
 
 experiments:
 	$(PYTHON) scripts/collect_experiments.py

@@ -13,6 +13,9 @@ with ``mtime=0`` so the archive bytes themselves are reproducible.
 ``--cluster-trace`` rewrites ``tests/data/cluster_trace_golden.json.gz``
 — the frozen sharded-cluster scenario of
 ``tests/test_cluster_trace_golden.py``, same packing.
+``--mutate-trace`` rewrites ``tests/data/mutate_trace_golden.json.gz``
+— the frozen chaos-mutation scenario of
+``tests/test_mutate_trace_golden.py``, same packing.
 (The GANNS search golden has its own legacy path:
 ``PYTHONPATH=src python tests/test_golden_determinism.py
 --regenerate``.)
@@ -49,6 +52,17 @@ def regen_cluster_trace() -> None:
     print(f"wrote {GOLDEN_PATH} ({len(payload):,} bytes uncompressed)")
 
 
+def regen_mutate_trace() -> None:
+    from tests.test_mutate_trace_golden import (
+        GOLDEN_PATH,
+        compute_golden_mutation,
+        write_golden,
+    )
+    payload = compute_golden_mutation()
+    write_golden(payload)
+    print(f"wrote {GOLDEN_PATH} ({len(payload):,} bytes uncompressed)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="regenerate committed golden artifacts")
@@ -57,14 +71,19 @@ def main(argv=None) -> int:
     parser.add_argument("--cluster-trace", action="store_true",
                         help="regenerate "
                              "tests/data/cluster_trace_golden.json.gz")
+    parser.add_argument("--mutate-trace", action="store_true",
+                        help="regenerate "
+                             "tests/data/mutate_trace_golden.json.gz")
     args = parser.parse_args(argv)
-    if not args.trace and not args.cluster_trace:
-        parser.error("nothing selected; pass --trace and/or "
-                     "--cluster-trace")
+    if not args.trace and not args.cluster_trace and not args.mutate_trace:
+        parser.error("nothing selected; pass --trace, --cluster-trace "
+                     "and/or --mutate-trace")
     if args.trace:
         regen_trace()
     if args.cluster_trace:
         regen_cluster_trace()
+    if args.mutate_trace:
+        regen_mutate_trace()
     return 0
 
 

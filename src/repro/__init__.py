@@ -18,6 +18,9 @@ The package provides:
   caching and admission control for online query traffic.
 - **Cluster** (:mod:`repro.cluster`): sharded multi-replica serving
   with scatter-gather top-k merge and replica failover.
+- **Mutable** (:mod:`repro.mutable`): the crash-safe mutable index —
+  streaming inserts/deletes, versioned snapshots, WAL + checkpoint
+  recovery.
 
 Quickstart:
     >>> import numpy as np
@@ -97,6 +100,15 @@ from repro.cluster import (
     ShardMap,
     merge_topk,
 )
+from repro.mutable import (
+    DurableStore,
+    MutableIndex,
+    MutationReport,
+    SnapshotHandle,
+    clean_replay_digest,
+    recover,
+    run_mutation_sim,
+)
 
 __all__ = [
     "__version__",
@@ -162,4 +174,11 @@ __all__ = [
     "RouterPolicy",
     "ShardMap",
     "merge_topk",
+    "DurableStore",
+    "MutableIndex",
+    "MutationReport",
+    "SnapshotHandle",
+    "clean_replay_digest",
+    "recover",
+    "run_mutation_sim",
 ]

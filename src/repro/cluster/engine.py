@@ -196,6 +196,51 @@ class ClusterEngine:
             self.shard_graphs.append(
                 build_nsw_cpu(shard_pts, d_min=d_min, d_max=d_max,
                               metric=metric).graph)
+        #: Dense-row -> external-id mapping when the cluster serves a
+        #: mutable-index snapshot (``None`` for a plain corpus).
+        self.external_ids: Optional[np.ndarray] = None
+        #: Epoch of the pinned snapshot, or ``None``.
+        self.snapshot_epoch: Optional[int] = None
+
+    @classmethod
+    def from_snapshot(cls, handle, n_shards: int, n_replicas: int,
+                      **kwargs) -> "ClusterEngine":
+        """Shard one pinned epoch of a mutable index across a cluster.
+
+        The handle's *live* points (tombstoned slots excluded) become
+        the cluster corpus, re-sharded by consistent hashing of their
+        dense row index.  Because the cluster renumbers rows densely,
+        the returned engine carries an ``external_ids`` mapping; pass
+        merged result ids through :meth:`map_to_external` to translate
+        them back to the mutable index's stable slot ids.
+
+        Args:
+            handle: A :class:`repro.mutable.snapshot.SnapshotHandle`.
+            n_shards: Index shard count.
+            n_replicas: Serving replicas per shard.
+            **kwargs: Everything the constructor accepts except
+                ``points``; ``metric`` defaults to the pinned graph's.
+        """
+        live = handle.live_ids()
+        kwargs.setdefault("metric", handle.graph.metric_name)
+        engine = cls(np.ascontiguousarray(handle.points[live]),
+                     n_shards, n_replicas, **kwargs)
+        engine.external_ids = live
+        engine.snapshot_epoch = handle.epoch
+        return engine
+
+    def map_to_external(self, ids: np.ndarray) -> np.ndarray:
+        """Translate dense result ids to the snapshot's slot ids.
+
+        ``-1`` padding passes through.  Identity for engines built
+        directly over a corpus.
+        """
+        ids = np.asarray(ids)
+        if self.external_ids is None:
+            return ids
+        return np.where(ids >= 0,
+                        self.external_ids[np.where(ids < 0, 0, ids)],
+                        ids)
 
     # ------------------------------------------------------------------
     # Replay

@@ -235,125 +235,15 @@ def build_nsw_gpu(points: np.ndarray, params: BuildParams,
     # Phase 2 — iteratively merge local graphs into G_0.
     # ------------------------------------------------------------------
     merge_iterations = 0
+    grid_threads = max(n_groups * n_t, n_t)
     for i in range(1, n_groups):
         merge_iterations += 1
-        group = groups[i]
-        prefix_end = int(group[0])  # G_0 currently holds points[:prefix_end]
-
-        # Step 1 — per-vertex forward-edge search against G_0 (one block
-        # per vertex) and backward-edge emission into E.
-        vertex_cycles = np.zeros(len(group))
-        step_distance = 0.0
-        step_structure = 0.0
-        edge_src: List[int] = []
-        edge_dst: List[int] = []
-        edge_dist: List[float] = []
-        search_ids: List[np.ndarray] = []
-        search_dists: List[np.ndarray] = []
-        merge_forward_cost = costs.ganns_merge_cycles(d_min, d_min, n_t)
-        for j, v in enumerate(group):
-            if exact:
-                # Exact d_min neighbors among G_0's points only; the
-                # within-group part comes from v.N', exercising the
-                # N ∪ N' merge the Section IV-C proof relies on.
-                all_prefix = metric_obj.one_to_many(points[v],
-                                                    points[:prefix_end])
-                take = min(d_min, prefix_end)
-                part = np.argpartition(all_prefix, take - 1)[:take] \
-                    if take < prefix_end else np.arange(prefix_end)
-                sub_order = np.lexsort((part, all_prefix[part]))
-                ids = part[sub_order][:take].astype(np.int64)
-                dists = all_prefix[ids]
-                traversal = _exact_beam_stub(prefix_end)
-            else:
-                result = beam_search(graph, points, points[v], k=d_min,
-                                     ef=ef, entry=0, metric=metric_obj)
-                ids, dists = result.ids, result.dists
-                traversal = result
-            charge = price_search(search_kernel, traversal, l_n, d_max,
-                                  n_dims, n_t, ef, costs)
-            vertex_cycles[j] = charge.total + merge_forward_cost
-            step_distance += charge.distance_cycles
-            step_structure += charge.structure_cycles + merge_forward_cost
-
-            if use_fast:
-                # Searches only reach G_0's prefix (nothing links to
-                # this group's vertices until Step 3 applies the
-                # backward edges), so row writes batch safely after
-                # the search loop.
-                search_ids.append(np.asarray(ids, dtype=np.int64))
-                search_dists.append(np.asarray(dists, dtype=np.float64))
-                continue
-
-            # v.N := top d_min of (search results ∪ v.N').
-            mask = forward_ids[v] >= 0
-            all_ids = np.concatenate([ids, forward_ids[v][mask]])
-            all_dists = np.concatenate([dists, forward_dists[v][mask]])
-            order = np.lexsort((all_ids, all_dists))
-            all_ids, all_dists = all_ids[order], all_dists[order]
-            _, unique_idx = np.unique(all_ids, return_index=True)
-            unique_idx.sort()
-            all_ids = all_ids[unique_idx][:d_min]
-            all_dists = all_dists[unique_idx][:d_min]
-            order = np.lexsort((all_ids, all_dists))
-            graph.set_row(int(v), all_ids[order], all_dists[order])
-
-            for u, dist in zip(all_ids, all_dists):
-                edge_src.append(int(u))
-                edge_dst.append(int(v))
-                edge_dist.append(float(dist))
-
-        launch = kernel.run(vertex_cycles)
-        times.add("merge_search", launch.seconds, step_distance,
-                  step_structure)
-
-        if use_fast:
-            src, dst, dist = merge_forward_batch(
-                graph, group, search_ids, search_dists, forward_ids,
-                forward_dists, d_min)
-            if len(src) == 0:
-                continue
-        else:
-            if not edge_src:
-                continue
-            # Step 2 — GatherScatter: bitonic sort E by (starting vertex,
-            # distance, ending vertex), then flags + prefix sum give CSR
-            # segment offsets.
-            src = np.asarray(edge_src, dtype=np.int64)
-            dst = np.asarray(edge_dst, dtype=np.int64)
-            dist = np.asarray(edge_dist, dtype=np.float64)
-        order = np.lexsort((dst, dist, src))
-        src, dst, dist = src[order], dst[order], dist[order]
-        offsets = csr_offsets_from_sorted_ids(src)
-
-        grid_threads = max(n_groups * n_t, n_t)
-        sort_cycles = costs.bitonic_sort_cycles(len(src), grid_threads)
-        scan_cycles = costs.prefix_sum_cycles(len(src), grid_threads)
-        seconds = kernel.cycles_to_seconds(sort_cycles + scan_cycles)
-        times.add("merge_gather_scatter", seconds, 0.0,
-                  sort_cycles + scan_cycles)
-
-        # Step 3 — one block per starting vertex merges its backward-edge
-        # segment into the adjacency row (best d_max survive).
-        n_segments = len(offsets) - 1
-        if use_fast:
-            merge_segments_batch(graph, src, dst, dist, offsets)
-            segment_cycles = np.array([
-                costs.adjacency_merge_cycles(
-                    d_max, int(offsets[s + 1] - offsets[s]), n_t)
-                for s in range(n_segments)
-            ])
-        else:
-            segment_cycles = np.zeros(n_segments)
-            for s in range(n_segments):
-                lo, hi = offsets[s], offsets[s + 1]
-                u = int(src[lo])
-                graph.merge_row(u, dst[lo:hi], dist[lo:hi])
-                segment_cycles[s] = costs.adjacency_merge_cycles(
-                    d_max, int(hi - lo), n_t)
-        launch = kernel.run(segment_cycles)
-        times.add("merge_update", launch.seconds, 0.0,
-                  float(segment_cycles.sum()))
+        merge_group_into_graph(
+            graph, points, groups[i], forward_ids, forward_dists,
+            params=params, search_kernel=search_kernel,
+            metric_obj=metric_obj, exact=exact, kernel=kernel,
+            times=times, costs=costs, use_fast=use_fast,
+            grid_threads=grid_threads)
 
     return ConstructionReport(
         algorithm=f"ggraphcon-{search_kernel}",
@@ -367,5 +257,306 @@ def build_nsw_gpu(points: np.ndarray, params: BuildParams,
             "merge_iterations": float(merge_iterations),
             "d_min": float(d_min),
             "d_max": float(d_max),
+        },
+    )
+
+
+def merge_group_into_graph(graph: ProximityGraph, points: np.ndarray,
+                           group: np.ndarray, forward_ids: np.ndarray,
+                           forward_dists: np.ndarray, *,
+                           params: BuildParams, search_kernel: str,
+                           metric_obj, exact: bool, kernel: KernelLaunch,
+                           times: _TimeAccumulator, costs: CostTable,
+                           use_fast: bool, grid_threads: int,
+                           entry: int = 0,
+                           exclude_mask: Optional[np.ndarray] = None
+                           ) -> None:
+    """Merge one local group into ``G_0`` (Algorithm 2's Phase-2 body).
+
+    This is the three-step merge iteration shared by
+    :func:`build_nsw_gpu` (which calls it once per local graph) and
+    :func:`insert_batch_nsw` (which calls it once per streaming batch):
+    (step 1) every group vertex searches ``d_min`` neighbors against the
+    current ``G_0`` and unions them with its saved forward set ``v.N'``,
+    emitting the implied backward edges into ``E``; (step 2) ``E`` is
+    bitonic-sorted and prefix-summed into CSR segments; (step 3) each
+    segment bitonic-merges into its vertex's adjacency row.
+
+    Args:
+        graph: The accumulated ``G_0``; mutated in place.  Rows for
+            ``group``'s vertices must already be allocated.
+        points: Full ``(n, d)`` point matrix (old and group points).
+        group: Global vertex ids of the group being merged, ascending.
+        forward_ids: ``(n, d_min)`` forward-neighbor ids (``v.N'``),
+            ``-1``-padded; only ``group``'s rows are read.
+        forward_dists: Matching distances, ``inf``-padded.
+        params: Build parameters (degree bounds, beam widths, threads).
+        search_kernel: ``"ganns"`` or ``"song"`` for pricing.
+        metric_obj: Resolved metric object.
+        exact: Exact-search mode (the Section IV-C theorem hypothesis).
+        kernel: Launch context charging the shared accumulator.
+        times: Accumulator collecting per-phase seconds.
+        costs: Cycle cost table.
+        use_fast: Fast-backend toggle (already resolved by the caller).
+        grid_threads: Grid width of the gather-scatter launches.
+        entry: Start vertex for the step-1 searches (``0`` during a
+            build; the current live entry for streaming inserts).
+        exclude_mask: Optional ``(n,)`` boolean mask of vertices that
+            must never be chosen as neighbors (tombstones).  Excluded
+            vertices may still route the search; they are filtered from
+            its results.
+    """
+    d_min, d_max = params.d_min, params.d_max
+    ef = params.effective_ef
+    l_n = params.effective_search_l_n
+    n_t = params.n_threads
+    n_dims = points.shape[1]
+    prefix_end = int(group[0])  # G_0 currently holds points[:prefix_end]
+
+    # Step 1 — per-vertex forward-edge search against G_0 (one block
+    # per vertex) and backward-edge emission into E.
+    vertex_cycles = np.zeros(len(group))
+    step_distance = 0.0
+    step_structure = 0.0
+    edge_src: List[int] = []
+    edge_dst: List[int] = []
+    edge_dist: List[float] = []
+    search_ids: List[np.ndarray] = []
+    search_dists: List[np.ndarray] = []
+    merge_forward_cost = costs.ganns_merge_cycles(d_min, d_min, n_t)
+    for j, v in enumerate(group):
+        if exact:
+            # Exact d_min neighbors among G_0's points only; the
+            # within-group part comes from v.N', exercising the
+            # N ∪ N' merge the Section IV-C proof relies on.
+            all_prefix = metric_obj.one_to_many(points[v],
+                                                points[:prefix_end])
+            take = min(d_min, prefix_end)
+            part = np.argpartition(all_prefix, take - 1)[:take] \
+                if take < prefix_end else np.arange(prefix_end)
+            sub_order = np.lexsort((part, all_prefix[part]))
+            ids = part[sub_order][:take].astype(np.int64)
+            dists = all_prefix[ids]
+            traversal = _exact_beam_stub(prefix_end)
+        else:
+            result = beam_search(graph, points, points[v], k=d_min,
+                                 ef=ef, entry=entry, metric=metric_obj)
+            ids, dists = result.ids, result.dists
+            traversal = result
+        if exclude_mask is not None and len(ids):
+            keep = ~exclude_mask[ids]
+            ids, dists = ids[keep], dists[keep]
+        charge = price_search(search_kernel, traversal, l_n, d_max,
+                              n_dims, n_t, ef, costs)
+        vertex_cycles[j] = charge.total + merge_forward_cost
+        step_distance += charge.distance_cycles
+        step_structure += charge.structure_cycles + merge_forward_cost
+
+        if use_fast:
+            # Searches only reach G_0's prefix (nothing links to
+            # this group's vertices until Step 3 applies the
+            # backward edges), so row writes batch safely after
+            # the search loop.
+            search_ids.append(np.asarray(ids, dtype=np.int64))
+            search_dists.append(np.asarray(dists, dtype=np.float64))
+            continue
+
+        # v.N := top d_min of (search results ∪ v.N').
+        mask = forward_ids[v] >= 0
+        all_ids = np.concatenate([ids, forward_ids[v][mask]])
+        all_dists = np.concatenate([dists, forward_dists[v][mask]])
+        order = np.lexsort((all_ids, all_dists))
+        all_ids, all_dists = all_ids[order], all_dists[order]
+        _, unique_idx = np.unique(all_ids, return_index=True)
+        unique_idx.sort()
+        all_ids = all_ids[unique_idx][:d_min]
+        all_dists = all_dists[unique_idx][:d_min]
+        order = np.lexsort((all_ids, all_dists))
+        graph.set_row(int(v), all_ids[order], all_dists[order])
+
+        for u, dist in zip(all_ids, all_dists):
+            edge_src.append(int(u))
+            edge_dst.append(int(v))
+            edge_dist.append(float(dist))
+
+    launch = kernel.run(vertex_cycles)
+    times.add("merge_search", launch.seconds, step_distance,
+              step_structure)
+
+    if use_fast:
+        src, dst, dist = merge_forward_batch(
+            graph, group, search_ids, search_dists, forward_ids,
+            forward_dists, d_min)
+        if len(src) == 0:
+            return
+    else:
+        if not edge_src:
+            return
+        # Step 2 — GatherScatter: bitonic sort E by (starting vertex,
+        # distance, ending vertex), then flags + prefix sum give CSR
+        # segment offsets.
+        src = np.asarray(edge_src, dtype=np.int64)
+        dst = np.asarray(edge_dst, dtype=np.int64)
+        dist = np.asarray(edge_dist, dtype=np.float64)
+    order = np.lexsort((dst, dist, src))
+    src, dst, dist = src[order], dst[order], dist[order]
+    offsets = csr_offsets_from_sorted_ids(src)
+
+    sort_cycles = costs.bitonic_sort_cycles(len(src), grid_threads)
+    scan_cycles = costs.prefix_sum_cycles(len(src), grid_threads)
+    seconds = kernel.cycles_to_seconds(sort_cycles + scan_cycles)
+    times.add("merge_gather_scatter", seconds, 0.0,
+              sort_cycles + scan_cycles)
+
+    # Step 3 — one block per starting vertex merges its backward-edge
+    # segment into the adjacency row (best d_max survive).
+    n_segments = len(offsets) - 1
+    if use_fast:
+        merge_segments_batch(graph, src, dst, dist, offsets)
+        segment_cycles = np.array([
+            costs.adjacency_merge_cycles(
+                d_max, int(offsets[s + 1] - offsets[s]), n_t)
+            for s in range(n_segments)
+        ])
+    else:
+        segment_cycles = np.zeros(n_segments)
+        for s in range(n_segments):
+            lo, hi = offsets[s], offsets[s + 1]
+            u = int(src[lo])
+            graph.merge_row(u, dst[lo:hi], dist[lo:hi])
+            segment_cycles[s] = costs.adjacency_merge_cycles(
+                d_max, int(hi - lo), n_t)
+    launch = kernel.run(segment_cycles)
+    times.add("merge_update", launch.seconds, 0.0,
+              float(segment_cycles.sum()))
+
+
+def insert_batch_nsw(graph: ProximityGraph, points: np.ndarray,
+                     new_ids: np.ndarray, params: BuildParams,
+                     search_kernel: str = "ganns",
+                     metric: str = "euclidean",
+                     device: DeviceSpec = QUADRO_P5000,
+                     costs: CostTable = DEFAULT_COSTS,
+                     entry: int = 0,
+                     exclude_mask: Optional[np.ndarray] = None,
+                     backend: Optional[str] = None) -> ConstructionReport:
+    """Stream one batch of new points into an existing NSW graph.
+
+    The batch is treated exactly like one GGraphCon local group: Phase 1
+    builds a local NSW graph among the batch points (one simulated
+    block, recording each point's forward set ``v.N'``) and Phase 2
+    merges the group into the live graph with the same three-step merge
+    :func:`build_nsw_gpu` uses — so streaming inserts ride the same
+    kernels and the same cycle cost model as the offline build.
+
+    Args:
+        graph: The live graph, already *grown*: rows for ``new_ids``
+            exist with degree ``0``.  Mutated in place.
+        points: ``(graph.n_vertices, d)`` matrix including the new
+            points' vectors at their rows.
+        new_ids: Ascending, contiguous global ids of the new batch
+            (appended at the tail of the id space).
+        params: Build parameters (same knobs as the offline build).
+        search_kernel: ``"ganns"`` or ``"song"`` for pricing.
+        metric: Metric name (must match the graph's).
+        device: Simulated device.
+        costs: Cycle cost table.
+        entry: Entry vertex for the merge searches (a live vertex).
+        exclude_mask: Optional ``(n,)`` tombstone mask; tombstoned
+            vertices are never chosen as neighbors of the batch.
+        backend: Execution backend override (``None`` defers to
+            ``REPRO_BACKEND``).
+
+    Returns:
+        A :class:`repro.core.results.ConstructionReport` whose ``graph``
+        is the mutated live graph and whose timings cover this batch
+        only.
+    """
+    use_fast = resolve_backend(backend) == FAST
+    points = np.asarray(points)
+    group = np.asarray(new_ids, dtype=np.int64)
+    if len(group) == 0:
+        raise ConstructionError("insert batch must be non-empty")
+    if points.ndim != 2 or len(points) != graph.n_vertices:
+        raise ConstructionError(
+            f"points must be ({graph.n_vertices}, d) to match the grown "
+            f"graph, got shape {points.shape}"
+        )
+    if int(group[-1]) != graph.n_vertices - 1 \
+            or not np.array_equal(group,
+                                  np.arange(group[0], group[-1] + 1)):
+        raise ConstructionError(
+            "new_ids must be the contiguous tail of the id space "
+            f"(got {group[0]}..{group[-1]} of {graph.n_vertices})"
+        )
+    if np.any(graph.degrees[group] != 0):
+        raise ConstructionError(
+            "rows for new_ids must be empty before the insert")
+
+    metric_obj = get_metric(metric)
+    d_min, d_max = params.d_min, params.d_max
+    ef = params.effective_ef
+    n_t = params.n_threads
+    l_n = params.effective_search_l_n
+
+    kernel = KernelLaunch(device, n_t, costs=costs)
+    times = _TimeAccumulator()
+
+    # Phase 1 — local graph over the batch (one block), recording N'.
+    local_points = points[group]
+    local_graph = ProximityGraph(len(group), d_max, metric)
+    forward_ids = np.full((graph.n_vertices, d_min), -1, dtype=np.int64)
+    forward_dists = np.full((graph.n_vertices, d_min), np.inf,
+                            dtype=np.float64)
+    block_distance = 0.0
+    block_structure = 0.0
+    insert_cost = costs.backward_insert_cycles(d_max, n_t)
+    for local_vertex in range(1, len(group)):
+        neighbor_ids, dists, traversal = _insert_into_local_graph(
+            local_graph, local_points, local_vertex, d_min, ef,
+            metric_obj, exact=False)
+        charge = price_search(search_kernel, traversal, l_n, d_max,
+                              points.shape[1], n_t, ef, costs)
+        block_distance += charge.distance_cycles
+        block_structure += charge.structure_cycles
+        if use_fast and len(neighbor_ids):
+            insert_bidirectional_batch(local_graph, local_vertex,
+                                       np.asarray(neighbor_ids),
+                                       np.asarray(dists,
+                                                  dtype=np.float64))
+            block_structure += len(neighbor_ids) * 2 * insert_cost
+        else:
+            for u, dist in zip(neighbor_ids, dists):
+                local_graph.insert_edge(local_vertex, int(u), float(dist))
+                local_graph.insert_edge(int(u), local_vertex, float(dist))
+                block_structure += 2 * insert_cost
+        count = len(neighbor_ids)
+        forward_ids[group[local_vertex], :count] = group[neighbor_ids]
+        forward_dists[group[local_vertex], :count] = dists
+    launch = kernel.run(np.array([block_distance + block_structure]))
+    times.add("local_construction", launch.seconds, block_distance,
+              block_structure)
+
+    # Phase 2 — merge the batch into the live graph.
+    grid_threads = max(params.n_blocks * n_t, n_t)
+    merge_group_into_graph(
+        graph, points, group, forward_ids, forward_dists,
+        params=params, search_kernel=search_kernel,
+        metric_obj=metric_obj, exact=False, kernel=kernel, times=times,
+        costs=costs, use_fast=use_fast, grid_threads=grid_threads,
+        entry=entry, exclude_mask=exclude_mask)
+
+    return ConstructionReport(
+        algorithm=f"streaming-insert-{search_kernel}",
+        graph=graph,
+        seconds=times.total_seconds,
+        phase_seconds=times.phase_seconds,
+        category_seconds=times.category_seconds,
+        n_points=len(group),
+        details={
+            "batch_size": float(len(group)),
+            "d_min": float(d_min),
+            "d_max": float(d_max),
+            "entry": float(entry),
         },
     )

@@ -38,6 +38,27 @@ class GraphError(ReproError):
     """
 
 
+class ValidationError(GraphError):
+    """Tombstone-aware validation failed: a dead vertex is still wired in.
+
+    Raised by :func:`repro.graphs.validation.validate_graph` when a
+    tombstone mask is supplied and either a live adjacency row still
+    references a tombstoned vertex (the dead node is *reachable*) or a
+    tombstoned vertex still carries edges after compaction claimed to
+    have detached it.
+    """
+
+
+class MutableIndexError(ReproError):
+    """The mutable index was misused or reached an unrecoverable state.
+
+    Examples: deleting an id that is already tombstoned or out of range,
+    inserting points whose dimensionality does not match the index, or
+    deleting the last live point (an index must always keep a search
+    entry).
+    """
+
+
 class DatasetError(ReproError):
     """A dataset could not be generated, loaded, or validated."""
 
@@ -132,3 +153,23 @@ class DeviceMemoryError(FaultError):
 
     Fails before any compute; only the attempted upload is charged.
     """
+
+
+class ProcessCrashError(FaultError):
+    """The (simulated) index process died at a named lifecycle phase.
+
+    Delivered by :class:`repro.faults.injector.CrashInjector` when a
+    ``crash`` fault arms during a mutation phase (compaction,
+    checkpointing).  Everything in volatile memory is lost; only the
+    durable store (checkpoint + write-ahead log) survives, and recovery
+    must rebuild the index from it.
+
+    Attributes:
+        phase: The lifecycle phase name the process died in (e.g.
+            ``"compaction.repair"``).
+    """
+
+    def __init__(self, message: str, phase: str = "",
+                 kind: str = "crash"):
+        super().__init__(message, kind=kind)
+        self.phase = phase

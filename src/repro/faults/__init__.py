@@ -12,10 +12,12 @@ event lands in a :class:`FaultReport`, and the same trace plus the same
 plan reproduce every byte of it.  See ``docs/fault_model.md``.
 """
 
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import CrashInjector, FaultInjector
 from repro.faults.plan import (
     ALL_FAULT_KINDS,
     CLUSTER_FAULT_KINDS,
+    CRASH_PHASES,
+    FAULT_CRASH,
     FAULT_ECC_BITFLIP,
     FAULT_KERNEL_STALL,
     FAULT_KERNEL_TIMEOUT,
@@ -23,6 +25,7 @@ from repro.faults.plan import (
     FAULT_NETWORK_PARTITION,
     FAULT_WORKER_LOSS,
     KERNEL_FAULT_KINDS,
+    MUTATION_FAULT_KINDS,
     FaultEvent,
     FaultPlan,
     fault_plan_names,
@@ -54,8 +57,11 @@ __all__ = [
     "BreakerPolicy",
     "BreakerTransition",
     "CLUSTER_FAULT_KINDS",
+    "CRASH_PHASES",
     "CircuitBreaker",
+    "CrashInjector",
     "DegradationRecord",
+    "FAULT_CRASH",
     "FAULT_ECC_BITFLIP",
     "FAULT_KERNEL_STALL",
     "FAULT_KERNEL_TIMEOUT",
@@ -68,6 +74,7 @@ __all__ = [
     "FaultReport",
     "InjectionRecord",
     "KERNEL_FAULT_KINDS",
+    "MUTATION_FAULT_KINDS",
     "RetryPolicy",
     "RetryRecord",
     "fault_plan_names",

@@ -21,6 +21,7 @@ from repro.errors import (
     DeviceMemoryError,
     KernelTimeoutError,
     MemoryFaultError,
+    ProcessCrashError,
 )
 from repro.faults.plan import (
     FAULT_ECC_BITFLIP,
@@ -154,3 +155,64 @@ class FaultInjector:
                 metrics.counter(f"faults.delivered.{event.kind}").inc()
             return self.apply(event, timing)
         return _hook
+
+
+class CrashInjector:
+    """Stateful cursor over a plan's ``crash`` events.
+
+    The mutable index polls the injector at every named lifecycle phase
+    boundary (the :data:`repro.faults.plan.CRASH_PHASES` points inside
+    compaction and checkpointing).  A crash event armed at or before the
+    poll time fires when its ``phase`` matches the boundary — or at the
+    very next boundary of any name when its ``phase`` is empty.  Each
+    event is consumed at most once, in schedule order, so replaying the
+    same plan against the same workload kills the process at the same
+    instants.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._pending: List[FaultEvent] = plan.mutation_events()
+        self._delivered = 0
+
+    @property
+    def pending(self) -> int:
+        """Crash events not yet delivered."""
+        return len(self._pending)
+
+    @property
+    def delivered(self) -> int:
+        """Crash events consumed so far."""
+        return self._delivered
+
+    def poll(self, phase: str, now: float) -> Optional[FaultEvent]:
+        """Consume the earliest armed event matching ``phase``, if any."""
+        for i, event in enumerate(self._pending):
+            if event.at_seconds > now:
+                break
+            if event.phase in ("", phase):
+                self._pending.pop(i)
+                self._delivered += 1
+                return event
+        return None
+
+    def check(self, phase: str, now: float,
+              metrics=None) -> None:
+        """Raise :class:`ProcessCrashError` if an armed event matches.
+
+        Args:
+            phase: The lifecycle phase boundary being crossed.
+            now: Simulated time of the boundary.
+            metrics: Optional
+                :class:`repro.observability.metrics.MetricsRegistry`;
+                a delivered crash increments ``faults.delivered.crash``.
+        """
+        event = self.poll(phase, now)
+        if event is None:
+            return
+        if metrics is not None:
+            metrics.counter(f"faults.delivered.{event.kind}").inc()
+        raise ProcessCrashError(
+            f"process crashed at phase {phase!r} "
+            f"(event armed at t={event.at_seconds:g})",
+            phase=phase, kind=event.kind)

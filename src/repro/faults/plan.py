@@ -24,6 +24,9 @@ Fault taxonomy (the ``FAULT_*`` constants):
   dies; its shard must be re-executed elsewhere.
 - ``network_partition`` — the cluster interconnect stalls for
   ``magnitude`` seconds; merge-round communication blocks.
+- ``crash``          — the (simulated) index process dies at a named
+  lifecycle ``phase`` (e.g. mid-compaction); volatile state is lost and
+  recovery must replay the durable write-ahead log.
 """
 
 from __future__ import annotations
@@ -44,6 +47,8 @@ FAULT_MEM_EXHAUSTION = "mem_exhaustion"
 #: Fault kinds delivered to the distributed-construction cluster.
 FAULT_WORKER_LOSS = "worker_loss"
 FAULT_NETWORK_PARTITION = "network_partition"
+#: Fault kinds delivered to the mutable-index lifecycle.
+FAULT_CRASH = "crash"
 
 KERNEL_FAULT_KINDS = (
     FAULT_KERNEL_TIMEOUT,
@@ -55,7 +60,23 @@ CLUSTER_FAULT_KINDS = (
     FAULT_WORKER_LOSS,
     FAULT_NETWORK_PARTITION,
 )
-ALL_FAULT_KINDS = KERNEL_FAULT_KINDS + CLUSTER_FAULT_KINDS
+MUTATION_FAULT_KINDS = (
+    FAULT_CRASH,
+)
+ALL_FAULT_KINDS = (KERNEL_FAULT_KINDS + CLUSTER_FAULT_KINDS
+                   + MUTATION_FAULT_KINDS)
+
+#: Named lifecycle phases a ``crash`` event may target.  An empty
+#: ``phase`` means "the next phase boundary of any name".  The mutable
+#: index polls its crash injector at each of these boundaries.
+CRASH_PHASES = (
+    "compaction.scan",
+    "compaction.rewrite",
+    "compaction.repair",
+    "compaction.commit",
+    "checkpoint.serialize",
+    "checkpoint.write",
+)
 
 
 @dataclass(frozen=True)
@@ -72,12 +93,16 @@ class FaultEvent:
             partition duration for ``network_partition``; ignored
             otherwise.
         target: Worker index for ``worker_loss`` (``-1`` elsewhere).
+        phase: Lifecycle phase a ``crash`` event targets (one of
+            :data:`CRASH_PHASES`, or ``""`` for "any phase"); empty for
+            every other kind.
     """
 
     kind: str
     at_seconds: float
     magnitude: float = 1.0
     target: int = -1
+    phase: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in ALL_FAULT_KINDS:
@@ -93,11 +118,26 @@ class FaultEvent:
             raise ConfigurationError(
                 f"fault magnitude must be positive, got {self.magnitude}"
             )
+        if self.phase and self.kind != FAULT_CRASH:
+            raise ConfigurationError(
+                f"phase is only meaningful for {FAULT_CRASH!r} events, "
+                f"got phase={self.phase!r} on kind={self.kind!r}"
+            )
+        if self.kind == FAULT_CRASH and self.phase \
+                and self.phase not in CRASH_PHASES:
+            raise ConfigurationError(
+                f"unknown crash phase {self.phase!r}; expected one of "
+                f"{sorted(CRASH_PHASES)} or ''"
+            )
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-data form for serialization."""
-        return {"kind": self.kind, "at_seconds": self.at_seconds,
-                "magnitude": self.magnitude, "target": self.target}
+        data: Dict[str, object] = {
+            "kind": self.kind, "at_seconds": self.at_seconds,
+            "magnitude": self.magnitude, "target": self.target}
+        if self.phase:
+            data["phase"] = self.phase
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
@@ -105,7 +145,8 @@ class FaultEvent:
         return cls(kind=str(data["kind"]),
                    at_seconds=float(data["at_seconds"]),
                    magnitude=float(data.get("magnitude", 1.0)),
-                   target=int(data.get("target", -1)))
+                   target=int(data.get("target", -1)),
+                   phase=str(data.get("phase", "")))
 
 
 class FaultPlan:
@@ -122,7 +163,8 @@ class FaultPlan:
 
     def __init__(self, events: Sequence[FaultEvent] = (), seed: int = 0):
         self.events: Tuple[FaultEvent, ...] = tuple(sorted(
-            events, key=lambda e: (e.at_seconds, e.kind, e.target)))
+            events, key=lambda e: (e.at_seconds, e.kind, e.target,
+                                   e.phase)))
         self.seed = int(seed)
 
     def __len__(self) -> int:
@@ -140,6 +182,10 @@ class FaultPlan:
     def cluster_events(self) -> List[FaultEvent]:
         """Events delivered to the distributed cluster, schedule order."""
         return [e for e in self.events if e.kind in CLUSTER_FAULT_KINDS]
+
+    def mutation_events(self) -> List[FaultEvent]:
+        """Events delivered to the mutable-index lifecycle (crashes)."""
+        return [e for e in self.events if e.kind in MUTATION_FAULT_KINDS]
 
     def rng(self, stream: str = "jitter") -> np.random.Generator:
         """A deterministic RNG derived from the plan seed and a label."""
@@ -203,6 +249,7 @@ class FaultPlan:
             FAULT_MEM_EXHAUSTION: 1.0,
             FAULT_WORKER_LOSS: 1.0,
             FAULT_NETWORK_PARTITION: 1e-2,
+            FAULT_CRASH: 1.0,
         }
         if magnitudes:
             defaults.update(magnitudes)
@@ -224,11 +271,15 @@ class FaultPlan:
                 if t >= horizon_seconds:
                     break
                 target = -1
+                phase = ""
                 if kind == FAULT_WORKER_LOSS and n_workers > 0:
                     target = int(rng.integers(0, n_workers))
+                if kind == FAULT_CRASH:
+                    phase = CRASH_PHASES[int(rng.integers(
+                        0, len(CRASH_PHASES)))]
                 events.append(FaultEvent(kind=kind, at_seconds=t,
                                          magnitude=defaults[kind],
-                                         target=target))
+                                         target=target, phase=phase))
         return cls(events=events, seed=seed)
 
 
@@ -265,6 +316,13 @@ _NAMED_RECIPES: Dict[str, Dict[str, float]] = {
         FAULT_KERNEL_STALL: 30.0,
         FAULT_KERNEL_TIMEOUT: 10.0,
     },
+    "compaction-crash": {
+        # Mutable-index chaos: process deaths at random lifecycle
+        # phases.  Mutation workloads run on a seconds-scale timeline
+        # (one op per simulated second), so a fractional rate still
+        # lands several hits across a few dozen ops.
+        FAULT_CRASH: 0.1,
+    },
 }
 
 
@@ -274,7 +332,8 @@ def named_fault_plan(name: str, horizon_seconds: float,
 
     Args:
         name: Recipe name (``none``, ``mild``, ``aggressive``,
-            ``memory``, ``blackout``, ``replica-loss``).
+            ``memory``, ``blackout``, ``replica-loss``,
+            ``compaction-crash``).
         horizon_seconds: Simulated length the plan should cover —
             typically the expected trace duration with headroom.
         seed: Plan seed.

@@ -13,14 +13,15 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import GraphError
+from repro.errors import GraphError, ValidationError
 from repro.graphs.adjacency import PAD_ID, ProximityGraph
 
 
 def validate_graph(graph: ProximityGraph, points: Optional[np.ndarray] = None,
                    d_min: Optional[int] = None,
                    check_distances: bool = False,
-                   atol: float = 1e-4) -> None:
+                   atol: float = 1e-4,
+                   tombstones: Optional[np.ndarray] = None) -> None:
     """Validate a graph's structural invariants.
 
     Checks, in order:
@@ -37,7 +38,13 @@ def validate_graph(graph: ProximityGraph, points: Optional[np.ndarray] = None,
        given, every vertex except possibly the first ``d_min`` inserted has
        degree ``>= min(d_min, what was available)`` — the paper's
        lower-bound property (2).
-    6. When ``points`` is given and ``check_distances`` is set, stored
+    6. When ``tombstones`` is given (a ``(n,)`` boolean mask of deleted
+       vertices), the compaction contract: no live row references a
+       tombstoned vertex (a *reachable tombstone* would let a search
+       return a deleted id) and every tombstoned vertex is fully
+       detached (degree ``0``).  Violations raise the more specific
+       :class:`repro.errors.ValidationError`.
+    7. When ``points`` is given and ``check_distances`` is set, stored
        distances match recomputed ones to within ``atol``.
 
     Args:
@@ -46,14 +53,27 @@ def validate_graph(graph: ProximityGraph, points: Optional[np.ndarray] = None,
         d_min: Construction lower bound to verify, if any.
         check_distances: Recompute and compare stored distances (slower).
         atol: Absolute tolerance for distance comparison.
+        tombstones: Optional boolean mask of deleted vertices; enables
+            the post-compaction unreachability checks.  Tombstoned
+            vertices are exempt from the ``d_min`` floor.
 
     Raises:
         GraphError: Describing the first violated invariant.
+        ValidationError: A tombstone invariant was violated (the mask
+            was supplied and a dead vertex is still wired in).
     """
     n = graph.n_vertices
     ids = graph.neighbor_ids
     dists = graph.neighbor_dists
     degrees = graph.degrees
+
+    if tombstones is not None:
+        tombstones = np.asarray(tombstones, dtype=bool)
+        if tombstones.shape != (n,):
+            raise GraphError(
+                f"tombstone mask must be shape ({n},), got "
+                f"{tombstones.shape}"
+            )
 
     if ids.shape != (n, graph.d_max) or dists.shape != ids.shape:
         raise GraphError(
@@ -104,13 +124,37 @@ def validate_graph(graph: ProximityGraph, points: Optional[np.ndarray] = None,
                 f"vertex {v}'s row is not sorted ascending by distance"
             )
 
+    if tombstones is not None and np.any(tombstones):
+        wired = tombstones & (degrees > 0)
+        if np.any(wired):
+            bad = int(np.flatnonzero(wired)[0])
+            raise ValidationError(
+                f"tombstoned vertex {bad} still carries "
+                f"{int(degrees[bad])} edges; compaction must detach "
+                f"dead vertices completely"
+            )
+        dead_refs = live & tombstones[np.where(ids == PAD_ID, 0, ids)]
+        if np.any(dead_refs):
+            bad = int(np.flatnonzero(np.any(dead_refs, axis=1))[0])
+            col = int(np.flatnonzero(dead_refs[bad])[0])
+            raise ValidationError(
+                f"live vertex {bad} still references tombstoned vertex "
+                f"{int(ids[bad, col])}: a search could return a deleted "
+                f"id (reachable tombstone)"
+            )
+
     if d_min is not None:
         if d_min <= 0:
             raise GraphError(f"d_min must be positive, got {d_min}")
         # During sequential insertion the i-th point can link to at most i
         # earlier points, so the enforceable bound is min(d_min, n - 1).
         floor = min(d_min, n - 1)
-        too_small = np.flatnonzero(degrees < floor)
+        small = degrees < floor
+        if tombstones is not None:
+            # Dead vertices are detached by design, so the floor only
+            # applies to live ones.
+            small = small & ~tombstones
+        too_small = np.flatnonzero(small)
         if too_small.size:
             raise GraphError(
                 f"{too_small.size} vertices (first: {int(too_small[0])}) "

@@ -13,7 +13,11 @@ from repro.metrics.distance import (
     CosineMetric,
     get_metric,
 )
-from repro.metrics.recall import recall_at_k, recall_per_query
+from repro.metrics.recall import (
+    mask_deleted_ground_truth,
+    recall_at_k,
+    recall_per_query,
+)
 
 __all__ = [
     "Metric",
@@ -21,6 +25,7 @@ __all__ = [
     "EuclideanMetric",
     "CosineMetric",
     "get_metric",
+    "mask_deleted_ground_truth",
     "recall_at_k",
     "recall_per_query",
 ]

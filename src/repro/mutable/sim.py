@@ -1,0 +1,201 @@
+"""Seeded mutation workload: the chaos driver for the mutable index.
+
+:func:`run_mutation_sim` plays a deterministic schedule of inserts,
+deletes, searches, compactions and checkpoints against one
+:class:`~repro.mutable.index.MutableIndex` on a simulated timeline,
+optionally under a :class:`~repro.faults.plan.FaultPlan` whose
+``crash`` events kill the process mid-compaction or mid-checkpoint.
+Every crash is followed by a full :func:`~repro.mutable.recovery.recover`
+from the surviving durable store, after which the workload continues —
+exactly the crash/restart loop a real online index lives through.
+
+Everything is a pure function of ``(workload knobs, seed, fault
+plan)``: the RNG stream, the op schedule, the simulated timestamps and
+the recovery replay are all deterministic, so two runs produce
+byte-identical :class:`~repro.mutable.report.MutationReport` encodings.
+The smoke gate (``scripts/check_mutate_smoke.py``) and the golden
+mutation-trace test pin exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.params import BuildParams, SearchParams
+from repro.datasets.synthetic import gaussian_mixture
+from repro.errors import ProcessCrashError
+from repro.faults.injector import CrashInjector
+from repro.faults.plan import FaultPlan
+from repro.gpusim.costs import CostTable, DEFAULT_COSTS
+from repro.gpusim.device import DeviceSpec, QUADRO_P5000
+from repro.mutable.index import MutableIndex
+from repro.mutable.recovery import recover
+from repro.mutable.report import MutationReport, OpRecord, SearchRecord
+
+#: Seconds between scheduled workload operations.  Mutation kernel
+#: charges are micro-to-millisecond scale, so unit spacing keeps every
+#: span interval disjoint on the ``mutate`` lane.
+OP_SPACING_SECONDS = 1.0
+
+#: Offset after a crash at which the replacement process recovers.
+RECOVERY_DELAY_SECONDS = 0.5
+
+
+def default_build_params(n_threads: int = 32) -> BuildParams:
+    """Small-corpus build parameters the sim (and its gates) use."""
+    return BuildParams(d_min=4, d_max=8, n_blocks=8,
+                       n_threads=n_threads)
+
+
+def run_mutation_sim(n_points: int = 200, n_dims: int = 16,
+                     n_ops: int = 24, seed: int = 0,
+                     batch_size: int = 8, k: int = 5, l_n: int = 32,
+                     compact_every: int = 6, checkpoint_every: int = 9,
+                     build_params: Optional[BuildParams] = None,
+                     fault_plan: Optional[FaultPlan] = None,
+                     metric: str = "euclidean",
+                     device: DeviceSpec = QUADRO_P5000,
+                     costs: CostTable = DEFAULT_COSTS,
+                     tracer=None, metrics=None,
+                     backend: Optional[str] = None) -> MutationReport:
+    """Run one deterministic mutation workload, chaos and all.
+
+    Args:
+        n_points: Seed corpus size (offline-built at ``t = 0``).
+        n_dims: Point dimensionality.
+        n_ops: Scheduled operations after the seed build.
+        seed: Workload RNG seed (corpus, batches, delete picks,
+            queries).
+        batch_size: Maximum points per insert batch.
+        k: Neighbors per search query.
+        l_n: Search candidate-pool length (power of two).
+        compact_every: A compaction every this many ops.
+        checkpoint_every: A checkpoint every this many ops (checked
+            before ``compact_every``; both count from 1).
+        build_params: Seed-build parameters; defaults to
+            :func:`default_build_params`.
+        fault_plan: Optional chaos schedule; only its ``crash`` events
+            apply here.
+        metric: Distance metric name.
+        device: Simulated device.
+        costs: Cycle cost table.
+        tracer: Optional span tracer (``mutate.*``, ``compaction.*``,
+            ``recovery.*`` spans on the ``mutate`` lane).
+        metrics: Optional metrics registry; the returned report's
+            :meth:`~repro.mutable.report.MutationReport.verify_against_metrics`
+            reconciles against it with zero drift.
+        backend: Execution backend for the seed build (results are
+            backend-independent).
+
+    Returns:
+        A byte-deterministic :class:`MutationReport`.
+    """
+    params = build_params or default_build_params()
+    rng = np.random.default_rng(seed)
+    corpus = gaussian_mixture(n_points, n_dims,
+                              n_clusters=min(8, n_points),
+                              seed=seed).astype(np.float64)
+    index = MutableIndex.build(corpus, params, metric=metric,
+                               device=device, costs=costs,
+                               backend=backend)
+    store = index.store
+    crash = CrashInjector(fault_plan) if fault_plan is not None else None
+    search_params = SearchParams(k=k, l_n=l_n,
+                                 n_threads=params.n_threads)
+    report = MutationReport(seed=seed, metrics=metrics)
+    checkpoint_lsn = 0
+    seq = 0
+
+    def record(kind: str, at: float, count: int = 0,
+               status: str = "ok", phase: str = "") -> None:
+        nonlocal seq
+        report.ops.append(OpRecord(seq=seq, kind=kind, at_seconds=at,
+                                   epoch_after=index.epoch,
+                                   count=count, status=status,
+                                   phase=phase))
+        seq += 1
+
+    def do_search(now: float) -> None:
+        n_queries = 1 + int(rng.integers(0, 4))
+        queries = rng.standard_normal((n_queries, n_dims))
+        k_eff = min(k, index.n_live)
+        ids, dists = index.search(
+            queries, search_params.with_overrides(k=k_eff)
+            if k_eff != k else search_params)
+        returned = ids[ids >= 0]
+        n_wrong = int(index.tombstones[returned].sum())
+        if metrics is not None:
+            metrics.counter("mutate.searches").inc()
+            if n_wrong:
+                metrics.counter("mutate.wrong_answers").inc(n_wrong)
+        report.searches.append(SearchRecord(
+            seq=seq, at_seconds=now, epoch=index.epoch, ids=ids,
+            dists=dists, n_wrong=n_wrong))
+        record("search", now, count=n_queries)
+
+    for step in range(n_ops):
+        now = (step + 1) * OP_SPACING_SECONDS
+        if checkpoint_every and (step + 1) % checkpoint_every == 0:
+            kind = "checkpoint"
+        elif compact_every and (step + 1) % compact_every == 0:
+            kind = "compact"
+        else:
+            roll = rng.random()
+            kind = ("insert" if roll < 0.40
+                    else "delete" if roll < 0.65 else "search")
+
+        if kind == "search":
+            do_search(now)
+            continue
+        if kind == "insert":
+            batch = 1 + int(rng.integers(0, batch_size))
+            points = 0.5 * rng.standard_normal((batch, n_dims))
+            index.insert(points, now=now, tracer=tracer,
+                         metrics=metrics)
+            record("insert", now, count=batch)
+            continue
+        if kind == "delete":
+            n_del = min(1 + int(rng.integers(0, 3)), index.n_live - 1)
+            if n_del <= 0:
+                do_search(now)
+                continue
+            ids = np.sort(rng.choice(index.live_ids(), size=n_del,
+                                     replace=False))
+            index.delete(ids, now=now, tracer=tracer, metrics=metrics)
+            record("delete", now, count=n_del)
+            continue
+
+        # compact / checkpoint: the crash-prone lifecycle phases.  A
+        # delivered crash kills the op mid-phase; the durable store
+        # survives, and a replacement process recovers from it.
+        try:
+            if kind == "compact":
+                stats = index.compact(now=now, crash=crash,
+                                      tracer=tracer, metrics=metrics)
+                record("compact", now, count=stats.n_dead)
+            else:
+                checkpoint_lsn = index.checkpoint(
+                    now=now, crash=crash, tracer=tracer,
+                    metrics=metrics)
+                record("checkpoint", now, count=checkpoint_lsn)
+        except ProcessCrashError as crashed:
+            record(kind, now, status="crashed", phase=crashed.phase)
+            recover_at = now + RECOVERY_DELAY_SECONDS
+            index = recover(store, device=device, costs=costs,
+                            tracer=tracer, metrics=metrics,
+                            now=recover_at)
+            index.validate()
+            record("recover", recover_at,
+                   count=index.last_recovery["n_replayed"])
+
+    index.validate()
+    report.final_digest = index.digest()
+    report.store_digest = store.digest()
+    report.final_epoch = index.epoch
+    report.n_live = index.n_live
+    report.n_slots = index.n_slots
+    report.checkpoint_lsn = checkpoint_lsn
+    report.store = store
+    return report

@@ -12,6 +12,13 @@ neighbors, every hit is verified against the exact vector stored in the
 entry; a bucket collision is counted and treated as a miss, never
 served.  The cache therefore only ever returns results that are
 byte-identical to a fresh search of the same vector.
+
+The cache is additionally keyed by an index *version*: every entry
+remembers the version it was inserted under, and
+:meth:`ResultCache.bump_version` (called when the served index mutates
+— e.g. a delete tombstones a vertex) invalidates every entry of older
+versions.  A post-delete lookup therefore can never return a result
+computed against the previous corpus, such as a tombstoned id.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ class CacheStats:
     collisions: int = 0
     insertions: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -68,9 +76,13 @@ class ResultCache:
         capacity: Maximum resident entries; ``0`` disables the cache
             (every lookup misses, every put is dropped).
         decimals: Quantization decimals for the bucket key.
+        version: Initial index version the cache serves; entries are
+            keyed by it, and :meth:`bump_version` invalidates the
+            entries of superseded versions.
     """
 
-    def __init__(self, capacity: int = 4096, decimals: int = 6):
+    def __init__(self, capacity: int = 4096, decimals: int = 6,
+                 version: int = 0):
         if capacity < 0:
             raise ConfigurationError(
                 f"cache capacity must be >= 0, got {capacity}"
@@ -81,6 +93,7 @@ class ResultCache:
             )
         self.capacity = capacity
         self.decimals = decimals
+        self.version = int(version)
         self.stats = CacheStats()
         # key -> (exact query vector, ids, dists); most recent last.
         self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
@@ -89,7 +102,38 @@ class ResultCache:
         return len(self._entries)
 
     def _key(self, query: np.ndarray, signature: tuple) -> tuple:
-        return (quantize_query(query, self.decimals), signature)
+        return (quantize_query(query, self.decimals), signature,
+                self.version)
+
+    def bump_version(self, version: Optional[int] = None) -> int:
+        """Advance the index version, invalidating all older entries.
+
+        Call whenever the served corpus changes (insert, delete,
+        compaction): results computed against the previous version —
+        including any that reference now-tombstoned ids — become
+        unreachable *and* are dropped immediately, each counted in
+        ``stats.invalidations``.
+
+        Args:
+            version: Explicit new version (e.g. the index epoch); must
+                not move backwards.  Defaults to ``current + 1``.
+
+        Returns:
+            The new version.
+        """
+        new_version = self.version + 1 if version is None else int(version)
+        if new_version < self.version:
+            raise ConfigurationError(
+                f"cache version cannot move backwards: "
+                f"{self.version} -> {new_version}"
+            )
+        if new_version == self.version:
+            return self.version
+        self.version = new_version
+        stale = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += stale
+        return self.version
 
     def get(self, query: np.ndarray, signature: tuple
             ) -> Optional[Tuple[np.ndarray, np.ndarray]]:

@@ -226,6 +226,36 @@ class ServeEngine:
                 f"{default_deadline_seconds}"
             )
         self.default_deadline_seconds = default_deadline_seconds
+        #: Epoch of the pinned snapshot this engine serves, or ``None``
+        #: for an engine built directly over a graph.
+        self.snapshot_epoch: Optional[int] = None
+
+    @classmethod
+    def from_snapshot(cls, handle, **kwargs) -> "ServeEngine":
+        """Serve one pinned epoch of a mutable index.
+
+        Args:
+            handle: A :class:`repro.mutable.snapshot.SnapshotHandle`.
+                Its ``serving_view()`` — where tombstoned vertices are
+                already detached, so no answer can name a deleted id —
+                becomes the engine's graph, points and entry.
+            **kwargs: Everything :class:`ServeEngine` accepts except
+                ``graph``/``points``/``entry``.
+
+        The handle pins its arrays against later mutations, so replays
+        through the returned engine are byte-identical no matter what
+        lands on the live index afterwards.  A supplied ``cache`` is
+        version-bumped to the snapshot epoch, evicting entries cached
+        under any older epoch.
+        """
+        view_graph, view_points, view_entry = handle.serving_view()
+        cache = kwargs.get("cache")
+        if cache is not None and cache.version < handle.epoch:
+            cache.bump_version(handle.epoch)
+        engine = cls(view_graph, view_points, entry=view_entry,
+                     **kwargs)
+        engine.snapshot_epoch = handle.epoch
+        return engine
 
     # ------------------------------------------------------------------
     # Replay

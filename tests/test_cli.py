@@ -151,6 +151,47 @@ class TestChaosSim:
         assert not args.no_governor
 
 
+class TestMutateSim:
+    def test_mutate_sim_smoke(self, capsys):
+        code = main(["mutate-sim", "--points", "150", "--dims", "8",
+                     "--ops", "12", "--seed", "0",
+                     "--compact-every", "4", "--checkpoint-every", "6",
+                     "--fault-plan", "compaction-crash",
+                     "--fault-seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos: plan=compaction-crash" in out
+        assert "MutationReport" in out
+        assert "wrong answers" in out
+        assert "report digest" in out
+
+    def test_mutate_sim_digest_is_replay_deterministic(self, capsys):
+        argv = ["mutate-sim", "--points", "150", "--dims", "8",
+                "--ops", "10", "--seed", "3",
+                "--fault-plan", "compaction-crash", "--fault-seed", "1"]
+        digests = []
+        for _ in range(2):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            (line,) = [ln for ln in out.splitlines()
+                       if "report digest" in ln]
+            digests.append(line.split()[2])
+        assert digests[0] == digests[1]
+
+    def test_mutate_sim_parser_defaults(self):
+        args = build_parser().parse_args(["mutate-sim"])
+        assert args.fault_plan == "compaction-crash"
+        assert args.ops == 24
+        assert args.compact_every == 6
+        assert args.checkpoint_every == 9
+
+    def test_mutate_sim_bad_l_n_exits_2(self, capsys):
+        code = main(["mutate-sim", "--points", "100", "--ops", "4",
+                     "--l-n", "63"])
+        assert code == 2
+        assert "repro mutate-sim: error:" in capsys.readouterr().err
+
+
 class TestTrace:
     def test_trace_writes_valid_deterministic_files(self, tmp_path,
                                                     capsys):

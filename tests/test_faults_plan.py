@@ -11,11 +11,20 @@ from repro.errors import (
     FaultError,
     KernelTimeoutError,
     MemoryFaultError,
+    ProcessCrashError,
     ReproError,
 )
-from repro.faults import FaultEvent, FaultInjector, FaultPlan, named_fault_plan
+from repro.faults import (
+    CrashInjector,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    named_fault_plan,
+)
 from repro.faults.plan import (
     ALL_FAULT_KINDS,
+    CRASH_PHASES,
+    FAULT_CRASH,
     FAULT_ECC_BITFLIP,
     FAULT_KERNEL_STALL,
     FAULT_KERNEL_TIMEOUT,
@@ -58,11 +67,12 @@ class TestFaultPlan:
         assert FaultPlan([a, b]) == FaultPlan([b, a])
         assert FaultPlan([a, b]).events[0] is b
 
-    def test_kernel_and_cluster_split_covers_all_kinds(self):
+    def test_kernel_cluster_mutation_split_covers_all_kinds(self):
         events = [FaultEvent(kind=k, at_seconds=float(i))
                   for i, k in enumerate(ALL_FAULT_KINDS)]
         plan = FaultPlan(events)
-        split = plan.kernel_events() + plan.cluster_events()
+        split = (plan.kernel_events() + plan.cluster_events()
+                 + plan.mutation_events())
         assert sorted(e.kind for e in split) == sorted(ALL_FAULT_KINDS)
 
     def test_json_round_trip(self):
@@ -143,6 +153,82 @@ class TestNamedPlans:
     def test_unknown_name_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown fault plan"):
             named_fault_plan("catastrophic", horizon_seconds=1.0)
+
+
+class TestCrashEvents:
+    def test_round_trip_preserves_phase(self):
+        event = FaultEvent(kind=FAULT_CRASH, at_seconds=2.0,
+                           phase="compaction.rewrite")
+        restored = FaultEvent.from_dict(event.to_dict())
+        assert restored == event
+        assert restored.phase == "compaction.rewrite"
+
+    def test_phaseless_crash_round_trips_without_phase_key(self):
+        event = FaultEvent(kind=FAULT_CRASH, at_seconds=1.0)
+        assert "phase" not in event.to_dict()
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_phase_must_be_a_known_crash_point(self):
+        with pytest.raises(ConfigurationError, match="phase"):
+            FaultEvent(kind=FAULT_CRASH, at_seconds=0.0,
+                       phase="compaction.meteor")
+
+    def test_phase_rejected_on_non_crash_kinds(self):
+        with pytest.raises(ConfigurationError, match="phase"):
+            FaultEvent(kind=FAULT_KERNEL_STALL, at_seconds=0.0,
+                       phase=CRASH_PHASES[0])
+
+    def test_plan_json_round_trip_with_crashes(self):
+        plan = FaultPlan([
+            FaultEvent(kind=FAULT_CRASH, at_seconds=0.5,
+                       phase="checkpoint.write"),
+            FaultEvent(kind=FAULT_KERNEL_STALL, at_seconds=0.25),
+        ], seed=11)
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.mutation_events()[0].phase == "checkpoint.write"
+
+    def test_compaction_crash_recipe_is_seed_deterministic(self):
+        a = named_fault_plan("compaction-crash", horizon_seconds=30.0,
+                             seed=5)
+        b = named_fault_plan("compaction-crash", horizon_seconds=30.0,
+                             seed=5)
+        c = named_fault_plan("compaction-crash", horizon_seconds=30.0,
+                             seed=6)
+        assert a == b
+        assert a != c
+        assert all(e.kind == FAULT_CRASH for e in a.events)
+        assert all(e.phase in CRASH_PHASES for e in a.events)
+
+    def test_injector_matches_phase_and_consumes_once(self):
+        plan = FaultPlan([FaultEvent(kind=FAULT_CRASH, at_seconds=1.0,
+                                     phase="compaction.repair")])
+        injector = CrashInjector(plan)
+        assert injector.poll("compaction.repair", 0.5) is None
+        assert injector.poll("compaction.scan", 2.0) is None
+        event = injector.poll("compaction.repair", 2.0)
+        assert event is not None
+        assert injector.poll("compaction.repair", 3.0) is None
+        assert injector.pending == 0
+        assert injector.delivered == 1
+
+    def test_phaseless_event_fires_at_any_boundary(self):
+        plan = FaultPlan([FaultEvent(kind=FAULT_CRASH, at_seconds=0.0)])
+        injector = CrashInjector(plan)
+        with pytest.raises(ProcessCrashError) as excinfo:
+            injector.check("checkpoint.serialize", 1.0)
+        assert excinfo.value.phase == "checkpoint.serialize"
+
+    def test_check_publishes_delivery_counter(self):
+        from repro.observability.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        plan = FaultPlan([FaultEvent(kind=FAULT_CRASH, at_seconds=0.0,
+                                     phase="compaction.scan")])
+        injector = CrashInjector(plan)
+        with pytest.raises(ProcessCrashError):
+            injector.check("compaction.scan", 1.0, metrics=metrics)
+        assert metrics.value("faults.delivered.crash") == 1
 
 
 TIMING = BatchTiming(n_queries=8, upload_seconds=1e-4,

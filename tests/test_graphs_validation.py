@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import GraphError
+from repro.errors import GraphError, ValidationError
 from repro.graphs.adjacency import ProximityGraph
 from repro.graphs.validation import validate_graph
 
@@ -99,3 +99,66 @@ class TestViolationsDetected:
         g = ProximityGraph(4, 2)
         g.set_row(0, [1, 2], [1.0, 3.0])
         validate_graph(g, points=points, check_distances=False)
+
+
+def _compacted_graph():
+    """A graph whose vertex 3 was tombstoned and detached."""
+    g = ProximityGraph(5, 3)
+    g.set_row(0, [1, 2], [0.1, 0.2])
+    g.set_row(1, [0], [0.1])
+    g.set_row(2, [0], [0.2])
+    g.set_row(4, [1], [0.4])
+    mask = np.zeros(5, dtype=bool)
+    mask[3] = True
+    return g, mask
+
+
+class TestTombstoneValidation:
+    """The corruption matrix for tombstone-aware validation."""
+
+    def test_detached_tombstone_passes(self):
+        g, mask = _compacted_graph()
+        validate_graph(g, tombstones=mask)
+
+    def test_no_mask_behaves_as_before(self):
+        g, _ = _compacted_graph()
+        validate_graph(g)
+
+    def test_all_false_mask_is_a_no_op(self):
+        g, _ = _compacted_graph()
+        validate_graph(g, tombstones=np.zeros(5, dtype=bool))
+
+    def test_reachable_tombstone_rejected(self):
+        g, mask = _compacted_graph()
+        # A live vertex still points at the dead one.
+        g.set_row(4, [1, 3], [0.4, 0.5])
+        with pytest.raises(ValidationError, match="reachable tombstone"):
+            validate_graph(g, tombstones=mask)
+
+    def test_tombstone_with_outgoing_edges_rejected(self):
+        g, mask = _compacted_graph()
+        # The dead vertex still carries an outgoing edge.
+        g.set_row(3, [0], [0.3])
+        with pytest.raises(ValidationError, match="still carries"):
+            validate_graph(g, tombstones=mask)
+
+    def test_wrong_mask_shape_rejected(self):
+        g, _ = _compacted_graph()
+        with pytest.raises(GraphError, match="shape"):
+            validate_graph(g, tombstones=np.zeros(3, dtype=bool))
+
+    def test_d_min_floor_skips_tombstoned_vertices(self):
+        # The detached vertex has degree 0; it must not trip the floor.
+        g, mask = _compacted_graph()
+        g.set_row(4, [0, 1], [0.3, 0.4])
+        g.set_row(0, [1, 2], [0.1, 0.2])
+        validate_graph(g, d_min=1, tombstones=mask)
+
+    def test_d_min_floor_still_applies_to_live_vertices(self):
+        g, mask = _compacted_graph()
+        g.set_row(2, [], [])  # live vertex with degree 0
+        with pytest.raises(GraphError, match="d_min floor"):
+            validate_graph(g, d_min=1, tombstones=mask)
+
+    def test_validation_error_is_a_graph_error(self):
+        assert issubclass(ValidationError, GraphError)

@@ -1,0 +1,114 @@
+"""Golden-file determinism for the mutation workload.
+
+``docs/mutable_index.md`` claims the whole mutation lifecycle — WAL,
+streaming inserts, tombstone deletes, crash-interrupted compactions,
+checkpoints and recovery — is byte-deterministic.  This pins that
+claim against a committed artifact: a frozen chaos-mutation scenario
+must serialize to a :class:`MutationReport` *and* a span trace
+byte-identical to ``tests/data/mutate_trace_golden.json.gz`` across
+runs, processes and releases.  Regenerate consciously with:
+
+    PYTHONPATH=src python scripts/regen_golden.py --mutate-trace
+
+(the script packs with ``gzip`` ``mtime=0`` so the archive bytes are
+reproducible; say so in the commit message when you regenerate).
+"""
+
+import base64
+import gzip
+import hashlib
+import json
+import os
+
+from repro.faults import named_fault_plan
+from repro.mutable import run_mutation_sim
+from repro.observability import MetricsRegistry, SpanTracer
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "mutate_trace_golden.json.gz")
+
+#: The frozen scenario.  Never change these values without regenerating
+#: the golden file (and saying so in the commit message).
+N_POINTS = 200
+N_DIMS = 16
+N_OPS = 24
+SEED = 0
+BATCH = 8
+K = 5
+L_N = 32
+COMPACT_EVERY = 6
+CHECKPOINT_EVERY = 9
+FAULT_PLAN = "compaction-crash"
+SEED_FAULTS = 0
+
+
+def compute_golden_mutation() -> bytes:
+    """Run the frozen scenario from scratch; returns the payload bytes.
+
+    The payload wraps the mutation report and the span trace in one
+    JSON document so a drift in either fails the same golden.
+    """
+    plan = named_fault_plan(FAULT_PLAN, horizon_seconds=float(N_OPS + 1),
+                            seed=SEED_FAULTS)
+    tracer = SpanTracer()
+    metrics = MetricsRegistry()
+    report = run_mutation_sim(
+        n_points=N_POINTS, n_dims=N_DIMS, n_ops=N_OPS, seed=SEED,
+        batch_size=BATCH, k=K, l_n=L_N, compact_every=COMPACT_EVERY,
+        checkpoint_every=CHECKPOINT_EVERY, fault_plan=plan,
+        tracer=tracer, metrics=metrics)
+    tracer.finish()
+    tracer.validate()
+    report.verify_against_metrics()
+    doc = {
+        "format": "mutate-golden-v1",
+        "report_digest": report.digest(),
+        # Report bytes embed raw array payloads; base64 keeps the
+        # wrapper valid JSON.
+        "report": base64.b64encode(report.to_bytes()).decode("ascii"),
+        "trace": tracer.to_json_bytes().decode("utf-8"),
+    }
+    return json.dumps(doc, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def write_golden(payload: bytes) -> None:
+    """Write the golden archive reproducibly (fixed gzip mtime)."""
+    with open(GOLDEN_PATH, "wb") as handle:
+        with gzip.GzipFile(fileobj=handle, mode="wb", mtime=0) as gz:
+            gz.write(payload)
+
+
+class TestMutateTraceGolden:
+    def test_golden_file_is_committed(self):
+        assert os.path.exists(GOLDEN_PATH), (
+            f"golden mutation trace missing at {GOLDEN_PATH}; "
+            f"regenerate with PYTHONPATH=src python "
+            f"scripts/regen_golden.py --mutate-trace"
+        )
+
+    def test_mutation_run_matches_golden_byte_for_byte(self):
+        payload = compute_golden_mutation()
+        with gzip.open(GOLDEN_PATH, "rb") as gz:
+            golden = gz.read()
+        assert payload == golden, (
+            "mutation report/trace bytes drifted from the committed "
+            "golden; if the change is intentional, regenerate with "
+            "PYTHONPATH=src python scripts/regen_golden.py "
+            "--mutate-trace"
+        )
+
+    def test_golden_is_a_valid_well_formed_artifact(self):
+        with gzip.open(GOLDEN_PATH, "rb") as gz:
+            doc = json.loads(gz.read())
+        assert doc["format"] == "mutate-golden-v1"
+        report = base64.b64decode(doc["report"])
+        assert report.startswith(b"mutation-report-v1\n")
+        assert doc["report_digest"] == hashlib.sha256(report).hexdigest()
+        tracer = SpanTracer.from_json_bytes(doc["trace"].encode("utf-8"))
+        tracer.validate()
+        assert tracer.find("mutate.insert")
+        assert tracer.find("compaction.pass")
+        # The frozen chaos recipe must actually exercise a crash.
+        assert b"crashed" in report
+        assert tracer.find("recovery.replay")

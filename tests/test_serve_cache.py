@@ -185,3 +185,46 @@ class TestCollisionSafety:
         assert cache.stats.collisions == 1
         # The exact original still hits.
         assert cache.get(a, SIG) is not None
+
+
+class TestVersionKeyedInvalidation:
+    def test_bump_evicts_older_version_entries(self):
+        cache = ResultCache(capacity=8)
+        q, ids, dists = _entry(1)
+        cache.put(q, SIG, ids, dists)
+        assert cache.get(q, SIG) is not None
+        cache.bump_version()
+        assert cache.get(q, SIG) is None
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+    def test_explicit_epoch_bump(self):
+        cache = ResultCache(capacity=8, version=3)
+        q, ids, dists = _entry(2)
+        cache.put(q, SIG, ids, dists)
+        assert cache.bump_version(7) == 7
+        assert cache.version == 7
+        assert cache.get(q, SIG) is None
+
+    def test_same_version_bump_is_a_no_op(self):
+        cache = ResultCache(capacity=8, version=5)
+        q, ids, dists = _entry(3)
+        cache.put(q, SIG, ids, dists)
+        assert cache.bump_version(5) == 5
+        assert cache.get(q, SIG) is not None
+        assert cache.stats.invalidations == 0
+
+    def test_version_cannot_move_backwards(self):
+        cache = ResultCache(capacity=8, version=5)
+        with pytest.raises(ConfigurationError, match="backwards"):
+            cache.bump_version(4)
+
+    def test_reinsert_after_bump_hits_under_new_version(self):
+        cache = ResultCache(capacity=8)
+        q, ids, dists = _entry(4)
+        cache.put(q, SIG, ids, dists)
+        cache.bump_version()
+        cache.put(q, SIG, ids, dists)
+        got = cache.get(q, SIG)
+        assert got is not None
+        assert np.array_equal(got[0], ids)
