@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-full bench-wallclock perf-smoke \
-	cluster-smoke mutate-smoke experiments examples clean
+	bakeoff-smoke cluster-smoke mutate-smoke experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -26,6 +26,13 @@ perf-smoke:
 	$(PYTHON) benchmarks/bench_wallclock.py --quick \
 		--output wallclock_smoke.json
 	$(PYTHON) scripts/check_perf_smoke.py wallclock_smoke.json
+
+# The CI bake-off gate: every family clears its recall floor and cagra
+# construction stays below nsw on the smoke dataset.
+bakeoff-smoke:
+	$(PYTHON) benchmarks/bench_bakeoff.py --quick \
+		--output bakeoff_smoke.json
+	$(PYTHON) scripts/check_bakeoff_smoke.py bakeoff_smoke.json
 
 # The CI cluster gate: 10x2 scatter-gather at 10x serve-smoke volume,
 # byte-identical replays, bounded p99, zero silent wrong answers.

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Cross-family index bake-off (Table: recall / cycles / memory per family).
+
+Builds every registered index family (``nsw``, ``hnsw``, ``knn``,
+``cagra``, ...) over the same dataset stand-ins and reports, per
+(dataset, family) cell:
+
+- **recall@10** against exact ground truth,
+- **search cycles** (simulated-kernel cycle total over the query batch),
+- **construction cycles** (the build's simulated seconds converted back
+  through the device clock),
+- **graph memory bytes**.
+
+All cycle figures come from the family's :class:`~repro.core.backend.
+IndexBackend` cost-model hooks, so the comparison is apples-to-apples
+across families.  The headline contract — checked by
+``scripts/check_bakeoff_smoke.py`` in CI — is that CAGRA's fixed-degree
+construction lands below NSW's construction cycles while both hold
+recall@10 >= 0.9.
+
+    python benchmarks/bench_bakeoff.py --quick --output bakeoff.json
+    python scripts/check_bakeoff_smoke.py bakeoff.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro import GannsIndex, load_dataset, recall_at_k
+from repro.core import BuildParams, backend_families, get_backend
+from repro.gpusim import DEFAULT_COSTS, QUADRO_P5000
+
+SCHEMA = "repro.bench_bakeoff/v1"
+
+#: Families benchmarked by default: every registered one.
+FAMILIES = backend_families()
+
+#: (name, n_points, n_queries) stand-ins; quick mode keeps only the first.
+DATASETS = [
+    ("sift1m", 500, 100),
+    ("nytimes", 900, 150),
+]
+
+
+def _bakeoff_cell(dataset, family, k=10, l_n=64, seed=7):
+    """Build + search one (dataset, family) cell; returns its metrics."""
+    backend = get_backend(family)
+    params = BuildParams(d_min=8, d_max=16, seed=seed)
+    index = GannsIndex.build(dataset.points, graph_type=family,
+                             params=params)
+    report = index.search_report(dataset.queries, k=k, l_n=l_n)
+    recall = recall_at_k(report.ids, dataset.ground_truth(k))
+    return {
+        "dataset": dataset.name,
+        "family": family,
+        "n_points": int(dataset.n_points),
+        "n_queries": int(dataset.n_queries),
+        "recall_at_10": float(recall),
+        "search_cycles": backend.search_cycles(report),
+        "search_cycles_per_query": (
+            backend.search_cycles(report) / dataset.n_queries),
+        "construction_cycles": backend.construction_cycles(
+            index.build_report, QUADRO_P5000, DEFAULT_COSTS),
+        "memory_bytes": backend.memory_bytes(index.graph),
+    }
+
+
+def run_bakeoff(quick, families=FAMILIES):
+    """Run the grid; returns the JSON document."""
+    datasets = DATASETS[:1] if quick else DATASETS
+    cells = []
+    for name, n_points, n_queries in datasets:
+        dataset = load_dataset(name, n_points=n_points,
+                               n_queries=n_queries)
+        for family in families:
+            cells.append(_bakeoff_cell(dataset, family))
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "families": list(families),
+        "datasets": [name for name, _, _ in datasets],
+        "cells": cells,
+    }
+
+
+def print_table(doc):
+    """Render the per-family comparison table."""
+    header = (f"{'dataset':<12} {'family':<8} {'recall@10':>9} "
+              f"{'search cyc':>12} {'build cyc':>12} {'mem KiB':>9}")
+    print(header)
+    print("-" * len(header))
+    for cell in doc["cells"]:
+        print(f"{cell['dataset']:<12} {cell['family']:<8} "
+              f"{cell['recall_at_10']:>9.3f} "
+              f"{cell['search_cycles']:>12.0f} "
+              f"{cell['construction_cycles']:>12.0f} "
+              f"{cell['memory_bytes'] / 1024:>9.1f}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the CI smoke dataset")
+    parser.add_argument("--families", nargs="*", default=None,
+                        help="subset of families (default: all registered)")
+    parser.add_argument("--output", default="BENCH_bakeoff.json",
+                        help="where to write the JSON document")
+    args = parser.parse_args(argv)
+
+    families = tuple(args.families) if args.families else FAMILIES
+    doc = run_bakeoff(quick=args.quick, families=families)
+    with open(args.output, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+
+    print_table(doc)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""CI gate over a ``bench_bakeoff.py`` JSON document.
+
+Asserts the cross-family bake-off contract from
+``docs/index_families.md``:
+
+- the document covers at least the ``nsw``, ``hnsw`` and ``cagra``
+  families,
+- every family clears a recall@10 floor of 0.8 on the smoke dataset,
+- ``nsw`` and ``cagra`` both clear the headline 0.9 recall floor,
+- CAGRA's construction cycles land **below** NSW's at that recall.
+
+Exits non-zero with a diagnostic otherwise.
+
+    python benchmarks/bench_bakeoff.py --quick --output bakeoff.json
+    python scripts/check_bakeoff_smoke.py bakeoff.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+EXPECTED_SCHEMA = "repro.bench_bakeoff/v1"
+REQUIRED_FAMILIES = {"nsw", "hnsw", "cagra"}
+
+
+def check(path, min_recall, headline_recall):
+    with open(path) as handle:
+        doc = json.load(handle)
+    if doc.get("schema") != EXPECTED_SCHEMA:
+        return f"unexpected schema {doc.get('schema')!r} in {path}"
+    cells = doc.get("cells", [])
+    if not cells:
+        return f"no bake-off cells in {path}"
+    families = {cell["family"] for cell in cells}
+    missing = REQUIRED_FAMILIES - families
+    if missing:
+        return f"missing families: {', '.join(sorted(missing))}"
+    smoke = doc["datasets"][0]
+    by_family = {c["family"]: c for c in cells if c["dataset"] == smoke}
+    low = [f for f, c in sorted(by_family.items())
+           if c["recall_at_10"] < min_recall]
+    if low:
+        return (f"families below the {min_recall:.2f} recall@10 floor on "
+                f"{smoke}: {', '.join(low)}")
+    for family in ("nsw", "cagra"):
+        recall = by_family[family]["recall_at_10"]
+        if recall < headline_recall:
+            return (f"{family} recall@10 {recall:.3f} on {smoke} is below "
+                    f"the {headline_recall:.2f} headline floor")
+    nsw_cycles = by_family["nsw"]["construction_cycles"]
+    cagra_cycles = by_family["cagra"]["construction_cycles"]
+    if cagra_cycles >= nsw_cycles:
+        return (f"cagra construction ({cagra_cycles:.0f} cycles) is not "
+                f"below nsw ({nsw_cycles:.0f} cycles) on {smoke}")
+    return None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="bench_bakeoff.py JSON output")
+    parser.add_argument("--min-recall", type=float, default=0.8,
+                        help="recall@10 floor for every family (default 0.8)")
+    parser.add_argument("--headline-recall", type=float, default=0.9,
+                        help="recall@10 floor for nsw/cagra (default 0.9)")
+    args = parser.parse_args(argv)
+
+    problem = check(args.report, args.min_recall, args.headline_recall)
+    if problem:
+        print(f"bakeoff smoke FAILED: {problem}", file=sys.stderr)
+        return 1
+    with open(args.report) as handle:
+        doc = json.load(handle)
+    smoke = doc["datasets"][0]
+    for cell in doc["cells"]:
+        if cell["dataset"] != smoke:
+            continue
+        print(f"bakeoff smoke ok: {cell['family']:<6} "
+              f"recall@10 {cell['recall_at_10']:.3f}, "
+              f"build {cell['construction_cycles']:.0f} cycles")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

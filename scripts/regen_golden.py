@@ -16,6 +16,9 @@ with ``mtime=0`` so the archive bytes themselves are reproducible.
 ``--mutate-trace`` rewrites ``tests/data/mutate_trace_golden.json.gz``
 — the frozen chaos-mutation scenario of
 ``tests/test_mutate_trace_golden.py``, same packing.
+``--cagra`` rewrites ``tests/data/cagra_golden.npz`` — the frozen
+CAGRA build digest + GANNS search results of
+``tests/test_cagra_golden.py``.
 (The GANNS search golden has its own legacy path:
 ``PYTHONPATH=src python tests/test_golden_determinism.py
 --regenerate``.)
@@ -63,6 +66,17 @@ def regen_mutate_trace() -> None:
     print(f"wrote {GOLDEN_PATH} ({len(payload):,} bytes uncompressed)")
 
 
+def regen_cagra() -> None:
+    from tests.test_cagra_golden import (
+        GOLDEN_PATH,
+        compute_golden,
+        write_golden,
+    )
+    graph, ids, dists = compute_golden()
+    write_golden(graph, ids, dists)
+    print(f"wrote {GOLDEN_PATH}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="regenerate committed golden artifacts")
@@ -74,16 +88,21 @@ def main(argv=None) -> int:
     parser.add_argument("--mutate-trace", action="store_true",
                         help="regenerate "
                              "tests/data/mutate_trace_golden.json.gz")
+    parser.add_argument("--cagra", action="store_true",
+                        help="regenerate tests/data/cagra_golden.npz")
     args = parser.parse_args(argv)
-    if not args.trace and not args.cluster_trace and not args.mutate_trace:
-        parser.error("nothing selected; pass --trace, --cluster-trace "
-                     "and/or --mutate-trace")
+    if not (args.trace or args.cluster_trace or args.mutate_trace
+            or args.cagra):
+        parser.error("nothing selected; pass --trace, --cluster-trace, "
+                     "--mutate-trace and/or --cagra")
     if args.trace:
         regen_trace()
     if args.cluster_trace:
         regen_cluster_trace()
     if args.mutate_trace:
         regen_mutate_trace()
+    if args.cagra:
+        regen_cagra()
     return 0
 
 

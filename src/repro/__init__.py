@@ -34,6 +34,8 @@ from repro._version import __version__
 from repro.errors import (
     ReproError,
     ConfigurationError,
+    UnknownFamilyError,
+    UnsupportedOperationError,
     DeviceError,
     GraphError,
     DatasetError,
@@ -49,6 +51,11 @@ from repro.errors import (
 )
 from repro.core import (
     GannsIndex,
+    IndexBackend,
+    ConformanceProfile,
+    backend_families,
+    get_backend,
+    register_backend,
     tune_search,
     stream_batches,
     SearchParams,
@@ -59,6 +66,7 @@ from repro.core import (
     build_nsw_gpu,
     build_hnsw_gpu,
     build_knn_graph_gpu,
+    build_cagra_gpu,
     build_nsw_serial_gpu,
     build_nsw_naive_parallel,
 )
@@ -114,6 +122,8 @@ __all__ = [
     "__version__",
     "ReproError",
     "ConfigurationError",
+    "UnknownFamilyError",
+    "UnsupportedOperationError",
     "DeviceError",
     "GraphError",
     "DatasetError",
@@ -127,6 +137,11 @@ __all__ = [
     "MemoryFaultError",
     "DeviceMemoryError",
     "GannsIndex",
+    "IndexBackend",
+    "ConformanceProfile",
+    "backend_families",
+    "get_backend",
+    "register_backend",
     "tune_search",
     "stream_batches",
     "SearchParams",
@@ -137,6 +152,7 @@ __all__ = [
     "build_nsw_gpu",
     "build_hnsw_gpu",
     "build_knn_graph_gpu",
+    "build_cagra_gpu",
     "build_nsw_serial_gpu",
     "build_nsw_naive_parallel",
     "beam_search",

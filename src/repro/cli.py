@@ -410,11 +410,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list Table I stand-ins")
 
+    from repro.core.backend import backend_families
+
     build = sub.add_parser("build", help="build and save an index")
     _add_dataset_arguments(build)
     build.add_argument("--output", "-o", default="index.npz")
-    build.add_argument("--graph-type", choices=("nsw", "hnsw", "knn"),
-                       default="nsw")
+    # Validated against the backend registry at build time (a typed
+    # ReproError -> exit 2), not by argparse, so newly registered
+    # families need no CLI change.
+    build.add_argument("--graph-type", default="nsw",
+                       help="index family; registered: "
+                            f"{', '.join(backend_families())}")
     build.add_argument("--strategy",
                        choices=("ggraphcon", "naive-parallel", "serial"),
                        default="ggraphcon")

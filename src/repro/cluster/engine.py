@@ -46,7 +46,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.nsw_cpu import build_nsw_cpu
 from repro.core.params import SearchParams
 from repro.core.pipeline import stream_batches
 from repro.errors import ClusterError
@@ -125,6 +124,12 @@ class ClusterEngine:
         router_policy: Heartbeat and failover-penalty knobs.
         n_vnodes: Virtual nodes per shard on the placement ring.
         placement_salt: Namespace for the placement hashes.
+        family: Registered index family the per-shard graphs are built
+            as (default ``"nsw"``); resolved through
+            :func:`repro.core.backend.get_backend`, so unknown names
+            raise a typed error and families without a flat serving
+            graph raise :class:`~repro.errors.UnsupportedOperationError`
+            at construction.
 
     Raises:
         ClusterError: On an invalid topology, an empty shard, or a
@@ -147,7 +152,10 @@ class ClusterEngine:
                  default_deadline_seconds: Optional[float] = None,
                  network: Optional[NetworkModel] = None,
                  router_policy: Optional[RouterPolicy] = None,
-                 n_vnodes: int = 64, placement_salt: int = 0):
+                 n_vnodes: int = 64, placement_salt: int = 0,
+                 family: str = "nsw"):
+        from repro.core.backend import get_backend
+        backend = get_backend(family)  # typed error on unknown names
         points = np.asarray(points)
         if points.ndim != 2 or len(points) == 0:
             raise ClusterError(
@@ -187,6 +195,9 @@ class ClusterEngine:
         self.router_policy = (router_policy if router_policy is not None
                               else RouterPolicy())
         self.metric = metric
+        #: Index family the per-shard graphs are built as (the shard
+        #: engines fold it into their cache signatures).
+        self.family = family
         self.shard_points: List[np.ndarray] = []
         self.shard_graphs: List[object] = []
         for shard in range(self.n_shards):
@@ -194,8 +205,8 @@ class ClusterEngine:
                 points[self.shard_map.members[shard]])
             self.shard_points.append(shard_pts)
             self.shard_graphs.append(
-                build_nsw_cpu(shard_pts, d_min=d_min, d_max=d_max,
-                              metric=metric).graph)
+                backend.serving_graph(shard_pts, d_min=d_min,
+                                      d_max=d_max, metric=metric))
         #: Dense-row -> external-id mapping when the cluster serves a
         #: mutable-index snapshot (``None`` for a plain corpus).
         self.external_ids: Optional[np.ndarray] = None
@@ -259,7 +270,8 @@ class ClusterEngine:
             device=self.device, costs=self.costs, faults=self.faults,
             retry=self.retry, breaker=self.breaker,
             governor=self.governor,
-            default_deadline_seconds=self.default_deadline_seconds)
+            default_deadline_seconds=self.default_deadline_seconds,
+            family=self.family)
 
     def replay(self, trace: Sequence[QueryRequest],
                tracer: Optional[SpanTracer] = None,

@@ -15,6 +15,10 @@
 - :mod:`repro.core.hnsw` — the HNSW extension (level-by-level with the ID
   shuffle).
 - :mod:`repro.core.knng` — the KNN-graph extension (batched NN-Descent).
+- :mod:`repro.core.cagra` — the CAGRA-style fixed-degree family
+  (KNN init + rank-based pruning + reverse-edge merge).
+- :mod:`repro.core.backend` — the :class:`IndexBackend` protocol and the
+  index-family registry.
 - :mod:`repro.core.index` — the user-facing :class:`GannsIndex`.
 """
 
@@ -25,6 +29,14 @@ from repro.core.construction import build_nsw_gpu
 from repro.core.naive import build_nsw_serial_gpu, build_nsw_naive_parallel
 from repro.core.hnsw import build_hnsw_gpu
 from repro.core.knng import build_knn_graph_gpu
+from repro.core.cagra import build_cagra_gpu
+from repro.core.backend import (
+    ConformanceProfile,
+    IndexBackend,
+    backend_families,
+    get_backend,
+    register_backend,
+)
 from repro.core.index import GannsIndex
 from repro.core.tuner import TuningResult, tune_search
 from repro.core.pipeline import StreamResult, stream_batches
@@ -40,6 +52,12 @@ __all__ = [
     "build_nsw_naive_parallel",
     "build_hnsw_gpu",
     "build_knn_graph_gpu",
+    "build_cagra_gpu",
+    "ConformanceProfile",
+    "IndexBackend",
+    "backend_families",
+    "get_backend",
+    "register_backend",
     "GannsIndex",
     "TuningResult",
     "tune_search",

@@ -1,0 +1,364 @@
+"""The :class:`IndexBackend` protocol and the index-family registry.
+
+Every graph family the library can build — NSW, HNSW, the plain KNN
+graph and the CAGRA-style fixed-degree graph — registers one
+:class:`IndexBackend` here.  The backend owns everything that is
+family-specific:
+
+- **build**: turning points into a :class:`ConstructionReport`;
+- **search**: running the GANNS kernels over the (flat) graph;
+- **serialize / deserialize**: the family's slice of the ``.npz``
+  index format (flat vs hierarchical layouts);
+- **cost-model hooks**: search cycles, construction cycles and memory
+  bytes, so the bake-off harness compares families apples-to-apples;
+- **serving_graph**: the flat graph the cluster layer shards over;
+- **conformance_profile**: the thresholds the shared conformance suite
+  (``tests/test_backend_conformance.py``) holds the family to.
+
+Everything else — :class:`~repro.core.index.GannsIndex`, the CLI, the
+serving and cluster engines — resolves families by name through
+:func:`get_backend`, so adding a family is one subclass plus one
+:func:`register_backend` call; the conformance suite picks it up by
+registration.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cagra import build_cagra_gpu
+from repro.core.construction import build_nsw_gpu
+from repro.core.ganns import ganns_search
+from repro.core.hnsw import build_hnsw_gpu
+from repro.core.knng import build_knn_graph_gpu
+from repro.core.naive import build_nsw_naive_parallel, build_nsw_serial_gpu
+from repro.core.params import BuildParams, SearchParams
+from repro.core.results import ConstructionReport, SearchReport
+from repro.errors import (
+    ConfigurationError,
+    GraphError,
+    UnknownFamilyError,
+    UnsupportedOperationError,
+)
+from repro.graphs.adjacency import HierarchicalGraph, ProximityGraph
+from repro.gpusim.costs import CostTable, DEFAULT_COSTS
+from repro.gpusim.device import DeviceSpec, QUADRO_P5000
+
+STRATEGIES = ("ggraphcon", "naive-parallel", "serial")
+
+
+@dataclass(frozen=True)
+class ConformanceProfile:
+    """Per-family thresholds for the shared backend conformance suite.
+
+    Attributes:
+        recall_floor: Minimum recall@10 on the suite's small synthetic
+            dataset at the standard ``l_n``.
+        reachable_floor: Minimum fraction of vertices reachable from the
+            search entry (KNN graphs may legitimately be disconnected).
+        exact_at_saturation: Whether search with ``l_n >= n`` must
+            return exactly the brute-force answer whenever the graph is
+            fully connected.
+        build_kwargs: Extra keyword arguments the suite passes to
+            :meth:`GannsIndex.build` for this family (e.g. ``knn_k``).
+    """
+
+    recall_floor: float = 0.9
+    reachable_floor: float = 0.95
+    exact_at_saturation: bool = True
+    build_kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+class IndexBackend(abc.ABC):
+    """One registered index family: build, search, persist, account.
+
+    Subclasses set :attr:`family` (the registry key, also the value of
+    ``GannsIndex.graph_type`` and the serving cache's family component)
+    and implement :meth:`build`; everything else has a flat-graph
+    default that hierarchical families override.
+    """
+
+    #: Registry key, e.g. ``"nsw"``.
+    family: str = ""
+    #: Whether :class:`~repro.mutable.index.MutableIndex` can stream
+    #: inserts into graphs of this family.
+    supports_mutation: bool = False
+    #: Whether :meth:`build` produces a :class:`HierarchicalGraph`.
+    hierarchical: bool = False
+
+    # ------------------------------------------------------------------
+    # Build / search
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def build(self, points: np.ndarray, params: BuildParams,
+              metric: str = "euclidean", **kwargs) -> ConstructionReport:
+        """Build this family's graph; returns a construction report."""
+
+    def index_points(self, points: np.ndarray,
+                     report: ConstructionReport) -> np.ndarray:
+        """The point matrix the index should store (HNSW reorders)."""
+        return points
+
+    def order_of(self, report: ConstructionReport) -> Optional[np.ndarray]:
+        """``order[shuffled_id] = original_id`` for reordering families."""
+        return None
+
+    def search(self, graph: ProximityGraph, points: np.ndarray,
+               queries: np.ndarray, params: SearchParams,
+               entry=0) -> SearchReport:
+        """Run the GANNS kernels over this family's flat graph."""
+        return ganns_search(graph, points, queries, params, entry=entry)
+
+    def serving_graph(self, points: np.ndarray, d_min: int, d_max: int,
+                      metric: str = "euclidean") -> ProximityGraph:
+        """A flat graph for the cluster layer's per-shard serving path."""
+        raise UnsupportedOperationError(
+            f"index family {self.family!r} has no flat serving graph; "
+            f"shard the cluster over a flat family instead"
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence (the family's slice of the .npz index format)
+    # ------------------------------------------------------------------
+
+    def serialize_graph(self, graph) -> Dict[str, np.ndarray]:
+        """Arrays persisting ``graph`` (flat layout by default)."""
+        if isinstance(graph, HierarchicalGraph):
+            raise GraphError(
+                f"family {self.family!r} serializes flat graphs, got a "
+                f"hierarchical graph"
+            )
+        return {
+            "kind": np.array("flat"),
+            "graph_ids": graph.neighbor_ids,
+            "graph_dists": graph.neighbor_dists,
+            "graph_degrees": graph.degrees,
+        }
+
+    def deserialize_graph(self, archive, n_points: int, d_max: int,
+                          metric: str):
+        """Rebuild the graph from arrays written by :meth:`serialize_graph`."""
+        graph = ProximityGraph(n_points, d_max, metric)
+        graph.neighbor_ids = archive["graph_ids"]
+        graph.neighbor_dists = archive["graph_dists"]
+        graph.degrees = archive["graph_degrees"]
+        return graph
+
+    # ------------------------------------------------------------------
+    # Cost-model hooks (the bake-off's common currency)
+    # ------------------------------------------------------------------
+
+    def search_cycles(self, report: SearchReport) -> float:
+        """Total device cycles one search charged to its tracker."""
+        return float(report.tracker.total_cycles())
+
+    def construction_cycles(self, report: ConstructionReport,
+                            device: DeviceSpec = QUADRO_P5000,
+                            costs: CostTable = DEFAULT_COSTS) -> float:
+        """Makespan cycles of the build, inverted from simulated seconds.
+
+        Exact inverse of
+        :meth:`repro.gpusim.kernel.KernelLaunch.cycles_to_seconds`, so
+        ``cycles_to_seconds(construction_cycles(r)) == r.seconds`` up to
+        float rounding — the reconciliation the conformance suite pins.
+        """
+        return float(report.seconds) * device.clock_hz / costs.time_scale
+
+    def memory_bytes(self, graph) -> int:
+        """Bytes of the graph's dense adjacency representation."""
+        return int(graph.memory_bytes())
+
+    def conformance_profile(self) -> ConformanceProfile:
+        """Thresholds the shared conformance suite applies to this family."""
+        return ConformanceProfile()
+
+
+class NswBackend(IndexBackend):
+    """The paper's NSW family (GGraphCon and the strawman strategies)."""
+
+    family = "nsw"
+    supports_mutation = True
+
+    def build(self, points: np.ndarray, params: BuildParams,
+              metric: str = "euclidean", strategy: str = "ggraphcon",
+              search_kernel: str = "ganns", knn_k: int = 16,
+              **kwargs) -> ConstructionReport:
+        if strategy == "ggraphcon":
+            return build_nsw_gpu(points, params,
+                                 search_kernel=search_kernel,
+                                 metric=metric, **kwargs)
+        if strategy == "naive-parallel":
+            return build_nsw_naive_parallel(
+                points, params, search_kernel=search_kernel,
+                metric=metric, **kwargs)
+        if strategy == "serial":
+            return build_nsw_serial_gpu(
+                points, params, search_kernel=search_kernel,
+                metric=metric, **kwargs)
+        raise ConfigurationError(
+            f"unknown strategy {strategy!r}; valid: {STRATEGIES}"
+        )
+
+    def serving_graph(self, points: np.ndarray, d_min: int, d_max: int,
+                      metric: str = "euclidean") -> ProximityGraph:
+        from repro.baselines.nsw_cpu import build_nsw_cpu
+        return build_nsw_cpu(points, d_min=d_min, d_max=d_max,
+                             metric=metric).graph
+
+    def conformance_profile(self) -> ConformanceProfile:
+        return ConformanceProfile(recall_floor=0.9, reachable_floor=0.98)
+
+
+class HnswBackend(IndexBackend):
+    """The HNSW extension (shuffled-ID hierarchical layers)."""
+
+    family = "hnsw"
+    hierarchical = True
+
+    def build(self, points: np.ndarray, params: BuildParams,
+              metric: str = "euclidean", strategy: str = "ggraphcon",
+              search_kernel: str = "ganns", knn_k: int = 16,
+              **kwargs) -> ConstructionReport:
+        if strategy != "ggraphcon":
+            raise ConfigurationError(
+                "HNSW construction supports only the ggraphcon strategy"
+            )
+        return build_hnsw_gpu(points, params, search_kernel=search_kernel,
+                              metric=metric, **kwargs)
+
+    def index_points(self, points: np.ndarray,
+                     report: ConstructionReport) -> np.ndarray:
+        return points[report.order]
+
+    def order_of(self, report: ConstructionReport) -> Optional[np.ndarray]:
+        return report.order
+
+    def serialize_graph(self, graph) -> Dict[str, np.ndarray]:
+        if not isinstance(graph, HierarchicalGraph):
+            raise GraphError(
+                "family 'hnsw' serializes hierarchical graphs, got a "
+                "flat graph"
+            )
+        arrays = {
+            "kind": np.array("hierarchical"),
+            "n_layers": np.array(graph.n_layers),
+            "layer_sizes": np.asarray(graph.layer_sizes),
+        }
+        for i, layer in enumerate(graph.layers):
+            arrays[f"layer{i}_ids"] = layer.neighbor_ids
+            arrays[f"layer{i}_dists"] = layer.neighbor_dists
+            arrays[f"layer{i}_degrees"] = layer.degrees
+        return arrays
+
+    def deserialize_graph(self, archive, n_points: int, d_max: int,
+                          metric: str):
+        sizes = archive["layer_sizes"].tolist()
+        layers = []
+        for i in range(int(archive["n_layers"])):
+            layer = ProximityGraph(n_points, d_max, metric)
+            layer.neighbor_ids = archive[f"layer{i}_ids"]
+            layer.neighbor_dists = archive[f"layer{i}_dists"]
+            layer.degrees = archive[f"layer{i}_degrees"]
+            layers.append(layer)
+        return HierarchicalGraph(layers, sizes)
+
+    def conformance_profile(self) -> ConformanceProfile:
+        return ConformanceProfile(recall_floor=0.9, reachable_floor=0.98)
+
+
+class KnnBackend(IndexBackend):
+    """The plain KNN-graph extension (batched NN-Descent)."""
+
+    family = "knn"
+
+    def build(self, points: np.ndarray, params: BuildParams,
+              metric: str = "euclidean", knn_k: int = 16,
+              strategy: str = "ggraphcon", search_kernel: str = "ganns",
+              **kwargs) -> ConstructionReport:
+        # strategy / search_kernel are accepted (the generic entry
+        # points pass them) but NN-Descent has no use for either.
+        return build_knn_graph_gpu(points, knn_k, params, metric=metric,
+                                   **kwargs)
+
+    def serving_graph(self, points: np.ndarray, d_min: int, d_max: int,
+                      metric: str = "euclidean") -> ProximityGraph:
+        return build_knn_graph_gpu(points, d_max, BuildParams(seed=0),
+                                   metric=metric).graph
+
+    def conformance_profile(self) -> ConformanceProfile:
+        # A pure KNN digraph may be disconnected; hold it to honest but
+        # lower floors and skip the exact-at-saturation contract.
+        return ConformanceProfile(recall_floor=0.7, reachable_floor=0.6,
+                                  exact_at_saturation=False,
+                                  build_kwargs={"knn_k": 16})
+
+
+class CagraBackend(IndexBackend):
+    """CAGRA-style fixed-degree family (KNN init + rank pruning)."""
+
+    family = "cagra"
+
+    def build(self, points: np.ndarray, params: BuildParams,
+              metric: str = "euclidean", strategy: str = "ggraphcon",
+              search_kernel: str = "ganns", knn_k: int = 16,
+              **kwargs) -> ConstructionReport:
+        # strategy / search_kernel do not apply: the graph is derived
+        # from a KNN initialisation, never grown by insertion searches.
+        return build_cagra_gpu(points, params, metric=metric, **kwargs)
+
+    def serving_graph(self, points: np.ndarray, d_min: int, d_max: int,
+                      metric: str = "euclidean") -> ProximityGraph:
+        return build_cagra_gpu(
+            points, BuildParams(d_min=min(d_min, d_max), d_max=d_max,
+                                seed=0),
+            metric=metric).graph
+
+    def conformance_profile(self) -> ConformanceProfile:
+        return ConformanceProfile(recall_floor=0.9, reachable_floor=0.98)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, IndexBackend] = {}
+
+
+def register_backend(backend: IndexBackend) -> IndexBackend:
+    """Register (or replace) one index family by its ``family`` name."""
+    if not backend.family:
+        raise ConfigurationError("an IndexBackend must name its family")
+    _REGISTRY[backend.family] = backend
+    return backend
+
+
+def get_backend(family: str) -> IndexBackend:
+    """Look up a family; unknown names raise a typed error.
+
+    Raises:
+        UnknownFamilyError: (a :class:`ConfigurationError`) naming the
+            registered families — never a bare :class:`KeyError`.
+    """
+    backend = _REGISTRY.get(family)
+    if backend is None:
+        raise UnknownFamilyError(
+            f"unknown graph_type {family!r}; registered families: "
+            f"{backend_families()}"
+        )
+    return backend
+
+
+def backend_families() -> Tuple[str, ...]:
+    """Sorted names of every registered family."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_backend(NswBackend())
+register_backend(HnswBackend())
+register_backend(KnnBackend())
+register_backend(CagraBackend())

@@ -1,0 +1,309 @@
+"""CAGRA-style fixed-degree graph construction (reorder + rank pruning).
+
+Ootomo et al. (CAGRA) observe that on GPUs a proximity graph is better
+*derived* than *grown*: start from a k-NN graph (cheap and massively
+parallel), reorder every adjacency row by distance rank, drop the edges
+that are *detourable* — reachable through a closer neighbor in two hops —
+and finally merge reverse edges back in so no vertex is starved of
+incoming routes.  The result is a fixed out-degree graph that needs no
+incremental insertion at all, which is why its construction parallelises
+so much better than NSW's insert-one-point-at-a-time scheme.
+
+The pipeline here mirrors that recipe on the simulated device:
+
+1. **k-NN initialisation** — :func:`repro.core.knng.build_knn_graph_gpu`
+   (batched NN-Descent) at an *intermediate* degree above the target.
+2. **Rank-based pruning** (:func:`rank_prune`) — candidates are
+   canonically ordered by ``(distance, id)`` (their *rank*); an edge to
+   the rank-``j`` candidate is detourable when some closer candidate
+   ``i < j`` satisfies ``d(c_i, c_j) < d(u, c_j)``.  The ``degree``
+   edges with the fewest detours (ties to the lower rank) survive.
+3. **Forward/reverse merge** (:func:`reverse_merge`) — the closest half
+   of every pruned row is pinned (rank-0 can never be dropped), the
+   remaining slots are filled with the closest reverse edges, and
+   forward leftovers backfill vertices that attract few reverse edges.
+
+Every stage is charged to the gpusim cost model (one block per vertex),
+so the bake-off's construction-cycle comparison against GGraphCon is
+apples-to-apples.  The output is an ordinary flat
+:class:`~repro.graphs.adjacency.ProximityGraph`, searched by the
+unmodified GANNS kernels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.knng import build_knn_graph_gpu
+from repro.core.params import BuildParams
+from repro.core.results import ConstructionReport
+from repro.errors import ConstructionError
+from repro.graphs.adjacency import PAD_DIST, PAD_ID, ProximityGraph
+from repro.gpusim.costs import CostTable, DEFAULT_COSTS
+from repro.gpusim.device import DeviceSpec, QUADRO_P5000
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.tracker import PhaseCategory
+from repro.metrics.distance import get_metric
+
+
+def rank_prune(cand_ids: np.ndarray, cand_dists: np.ndarray,
+               points: np.ndarray, degree: int,
+               metric: str = "euclidean"
+               ) -> Tuple[np.ndarray, np.ndarray]:
+    """Prune one vertex's candidate list to ``degree`` rank-selected edges.
+
+    The candidates are first put into canonical rank order — sorted by
+    ``(distance, id)`` with padding (``-1`` ids) and duplicates removed —
+    so the result is invariant under any permutation of the input (the
+    property the hypothesis suite pins).  An edge to the rank-``j``
+    candidate counts one *detour* for every better-ranked candidate
+    ``i < j`` that lies strictly closer to ``c_j`` than the vertex
+    itself does; the ``degree`` candidates with the fewest detours
+    survive, ties broken by rank.
+
+    Args:
+        cand_ids: ``(m,)`` candidate vertex ids (``-1`` entries ignored).
+        cand_dists: ``(m,)`` distances from the vertex to each candidate.
+        points: ``(n, d)`` point matrix (used for candidate-candidate
+            distances).
+        degree: Target out-degree.
+        metric: Metric name (must match ``cand_dists``).
+
+    Returns:
+        ``(kept_ids, kept_dists)`` sorted by ``(distance, id)``, at most
+        ``degree`` entries.
+    """
+    cand_ids = np.asarray(cand_ids, dtype=np.int64)
+    cand_dists = np.asarray(cand_dists, dtype=np.float64)
+    valid = cand_ids >= 0
+    cand_ids = cand_ids[valid]
+    cand_dists = cand_dists[valid]
+    if len(cand_ids) == 0:
+        return cand_ids, cand_dists
+    # Canonical rank order, duplicates collapsed to their first rank.
+    order = np.lexsort((cand_ids, cand_dists))
+    cand_ids = cand_ids[order]
+    cand_dists = cand_dists[order]
+    _, first = np.unique(cand_ids, return_index=True)
+    keep = np.zeros(len(cand_ids), dtype=bool)
+    keep[first] = True
+    cand_ids = cand_ids[keep]
+    cand_dists = cand_dists[keep]
+    order = np.lexsort((cand_ids, cand_dists))
+    cand_ids = cand_ids[order]
+    cand_dists = cand_dists[order]
+    m = len(cand_ids)
+    if m <= degree:
+        return cand_ids, cand_dists
+
+    metric_obj = get_metric(metric)
+    gathered = np.asarray(points, dtype=np.float64)[cand_ids]
+    pair = metric_obj.pairwise(gathered, gathered)
+    # detours[j] = |{ i < j : d(c_i, c_j) < d(u, c_j) }|
+    upper = np.tril(np.ones((m, m), dtype=bool), k=-1).T  # i < j
+    detourable = upper & (pair < cand_dists[None, :])
+    detours = detourable.sum(axis=0)
+    ranks = np.arange(m)
+    selected = np.lexsort((ranks, detours))[:degree]
+    selected.sort()  # back to rank order == (dist, id) order
+    return cand_ids[selected], cand_dists[selected]
+
+
+def reverse_merge(forward_ids: np.ndarray, forward_dists: np.ndarray,
+                  degree: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge forward and reverse edges into the final fixed-degree rows.
+
+    The closest ``ceil(degree / 2)`` forward edges of every vertex are
+    pinned — in particular the rank-0 (closest) forward edge can never
+    be dropped.  The remaining slots take the closest reverse edges
+    (metrics are symmetric, so a reverse edge reuses the forward edge's
+    distance); vertices that attract too few reverse edges backfill
+    with their own remaining forward edges.
+
+    Args:
+        forward_ids: ``(n, w)`` pruned forward rows, sorted by
+            ``(distance, id)`` with ``-1`` padding.
+        forward_dists: Matching distances (``inf`` on padding).
+        degree: Target out-degree of the merged rows.
+
+    Returns:
+        ``(ids, dists)`` dense ``(n, degree)`` arrays, rows sorted by
+        ``(distance, id)``, padded with ``-1`` / ``inf``.
+    """
+    forward_ids = np.asarray(forward_ids, dtype=np.int64)
+    forward_dists = np.asarray(forward_dists, dtype=np.float64)
+    n, width = forward_ids.shape
+    pinned = max(1, math.ceil(degree / 2))
+
+    # Bounded reverse table: for every vertex, the closest `degree`
+    # incoming edges, found by one global (dst, dist, src) sort.
+    src = np.repeat(np.arange(n, dtype=np.int64), width)
+    dst = forward_ids.ravel()
+    dist = forward_dists.ravel()
+    live = dst >= 0
+    src, dst, dist = src[live], dst[live], dist[live]
+    order = np.lexsort((src, dist, dst))
+    src, dst, dist = src[order], dst[order], dist[order]
+    starts = np.searchsorted(dst, np.arange(n), side="left")
+    ends = np.searchsorted(dst, np.arange(n), side="right")
+
+    out_ids = np.full((n, degree), PAD_ID, dtype=np.int64)
+    out_dists = np.full((n, degree), PAD_DIST, dtype=np.float64)
+    for v in range(n):
+        f_deg = int((forward_ids[v] >= 0).sum())
+        keep_ids = list(forward_ids[v, :min(pinned, f_deg)])
+        keep_dists = list(forward_dists[v, :min(pinned, f_deg)])
+        kept = set(keep_ids)
+        # Candidate pool: reverse edges first, forward leftovers after,
+        # all competing by (dist, id).
+        pool_ids = np.concatenate([
+            src[starts[v]:ends[v]],
+            forward_ids[v, min(pinned, f_deg):f_deg],
+        ])
+        pool_dists = np.concatenate([
+            dist[starts[v]:ends[v]],
+            forward_dists[v, min(pinned, f_deg):f_deg],
+        ])
+        order_p = np.lexsort((pool_ids, pool_dists))
+        for idx in order_p:
+            if len(keep_ids) == degree:
+                break
+            u = int(pool_ids[idx])
+            if u in kept or u == v:
+                continue
+            kept.add(u)
+            keep_ids.append(u)
+            keep_dists.append(float(pool_dists[idx]))
+        row_order = np.lexsort((np.asarray(keep_ids, dtype=np.int64),
+                                np.asarray(keep_dists)))
+        out_ids[v, :len(keep_ids)] = np.asarray(keep_ids,
+                                                dtype=np.int64)[row_order]
+        out_dists[v, :len(keep_ids)] = np.asarray(
+            keep_dists, dtype=np.float64)[row_order]
+    return out_ids, out_dists
+
+
+def build_cagra_gpu(points: np.ndarray,
+                    params: BuildParams = BuildParams(),
+                    metric: str = "euclidean",
+                    graph_degree: Optional[int] = None,
+                    intermediate_degree: Optional[int] = None,
+                    knn_iterations: int = 8,
+                    device: DeviceSpec = QUADRO_P5000,
+                    costs: CostTable = DEFAULT_COSTS,
+                    **_ignored) -> ConstructionReport:
+    """Build a CAGRA-style fixed-degree graph on the simulated GPU.
+
+    Args:
+        points: ``(n, d)`` float matrix.
+        params: Supplies ``d_max`` (the default target degree),
+            ``n_threads`` and ``seed``.
+        metric: ``"euclidean"`` or ``"cosine"``.
+        graph_degree: Target out-degree of the final graph; defaults to
+            ``params.d_max`` (capped at ``n - 1``).
+        intermediate_degree: Width of the initial k-NN graph the pruning
+            selects from; defaults to ~1.5x the target degree.
+        knn_iterations: NN-Descent refinement cap for the initial graph.
+        device: Simulated device.
+        costs: Cycle cost table.
+
+    Returns:
+        A :class:`ConstructionReport` whose graph is a flat
+        :class:`ProximityGraph` with exactly ``graph_degree`` edges per
+        vertex (fewer only when ``n - 1 < graph_degree``).
+    """
+    points = np.asarray(points)
+    if points.ndim != 2 or len(points) == 0:
+        raise ConstructionError(
+            f"points must be a non-empty 2-D matrix, got shape {points.shape}"
+        )
+    n = len(points)
+    if n < 2:
+        raise ConstructionError("CAGRA construction needs at least 2 points")
+    degree = min(graph_degree if graph_degree is not None else params.d_max,
+                 n - 1)
+    if degree <= 0:
+        raise ConstructionError(f"graph_degree must be positive, got {degree}")
+    if intermediate_degree is None:
+        intermediate_degree = max(degree + 4, (degree * 3) // 2)
+    intermediate = min(int(intermediate_degree), n - 1)
+    if intermediate < degree:
+        raise ConstructionError(
+            f"intermediate_degree ({intermediate}) must be >= graph_degree "
+            f"({degree})"
+        )
+    n_t = params.n_threads
+    n_dims = points.shape[1]
+    kernel = KernelLaunch(device, n_t, costs=costs)
+
+    # Stage 1: k-NN initialisation at the intermediate degree.
+    knn_report = build_knn_graph_gpu(points, intermediate, params,
+                                     metric=metric,
+                                     max_iterations=knn_iterations,
+                                     device=device, costs=costs)
+    knn = knn_report.graph
+    total_seconds = knn_report.seconds
+    phase_seconds: Dict[str, float] = {"knn_init": knn_report.seconds}
+    category = dict(knn_report.category_seconds)
+
+    # Stage 2: rank-based reorder + detour pruning (one block per vertex:
+    # load the candidate vectors, compute the candidate-candidate
+    # distance triangle, sort by detour count).
+    pruned_ids = np.full((n, degree), PAD_ID, dtype=np.int64)
+    pruned_dists = np.full((n, degree), PAD_DIST, dtype=np.float64)
+    for v in range(n):
+        d_v = int(knn.degrees[v])
+        kept_ids, kept_dists = rank_prune(
+            knn.neighbor_ids[v, :d_v], knn.neighbor_dists[v, :d_v],
+            points, degree, metric=metric)
+        pruned_ids[v, :len(kept_ids)] = kept_ids
+        pruned_dists[v, :len(kept_ids)] = kept_dists
+
+    m = intermediate
+    pair_computes = m * (m - 1) // 2
+    prune_distance = (m * costs.vector_load_cycles(n_dims, n_t)
+                      + pair_computes
+                      * costs.distance_compute_cycles(n_dims, n_t))
+    prune_structure = (costs.bitonic_sort_cycles(m, n_t)
+                       + m * costs.alu_cycles)
+    launch = kernel.run(prune_distance + prune_structure, n_blocks=n)
+    total_seconds += launch.seconds
+    phase_seconds["rank_prune"] = launch.seconds
+    mix = prune_distance + prune_structure
+    category[PhaseCategory.DISTANCE] = (
+        category.get(PhaseCategory.DISTANCE, 0.0)
+        + launch.seconds * prune_distance / mix)
+    category[PhaseCategory.STRUCTURE] = (
+        category.get(PhaseCategory.STRUCTURE, 0.0)
+        + launch.seconds * prune_structure / mix)
+
+    # Stage 3: forward/reverse merge (bounded reverse scatter + bitonic
+    # merge per row; reverse edges reuse forward distances, so this
+    # stage computes no distances at all).
+    merged_ids, merged_dists = reverse_merge(pruned_ids, pruned_dists,
+                                             degree)
+    merge_cycles = (costs.prefix_sum_cycles(degree, n_t)
+                    + costs.adjacency_merge_cycles(degree, degree, n_t))
+    launch = kernel.run(merge_cycles, n_blocks=n)
+    total_seconds += launch.seconds
+    phase_seconds["reverse_merge"] = launch.seconds
+    category[PhaseCategory.STRUCTURE] += launch.seconds
+
+    graph = ProximityGraph.from_rows(merged_ids, merged_dists,
+                                     d_max=degree, metric=metric)
+    return ConstructionReport(
+        algorithm="cagra",
+        graph=graph,
+        seconds=total_seconds,
+        phase_seconds=phase_seconds,
+        category_seconds=category,
+        n_points=n,
+        details={
+            "graph_degree": float(degree),
+            "intermediate_degree": float(intermediate),
+            "knn_iterations": knn_report.details["n_iterations"],
+        },
+    )

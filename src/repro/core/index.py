@@ -1,8 +1,9 @@
 """High-level user API: :class:`GannsIndex`.
 
 Everything the library offers behind one object: build a proximity graph
-(NSW / HNSW / KNN, with any construction strategy), search it (GANNS, SONG
-or the CPU beam baseline), evaluate recall, and persist to disk.
+of any registered family (NSW / HNSW / KNN / CAGRA — see
+:mod:`repro.core.backend`), search it (GANNS, SONG or the CPU beam
+baseline), evaluate recall, and persist to disk.
 
 Example:
     >>> from repro import GannsIndex
@@ -20,11 +21,8 @@ import numpy as np
 from repro.baselines.beam import beam_search_batch
 from repro.baselines.hnsw_cpu import hnsw_entry_descent
 from repro.baselines.song import SongParams, song_search
-from repro.core.construction import build_nsw_gpu
-from repro.core.ganns import ganns_search
-from repro.core.hnsw import build_hnsw_gpu, recover_original_ids
-from repro.core.knng import build_knn_graph_gpu
-from repro.core.naive import build_nsw_naive_parallel, build_nsw_serial_gpu
+from repro.core.backend import STRATEGIES, get_backend  # noqa: F401 - STRATEGIES re-exported
+from repro.core.hnsw import recover_original_ids
 from repro.core.params import BuildParams, SearchParams
 from repro.core.results import ConstructionReport, SearchReport
 from repro.errors import ConfigurationError, SearchError
@@ -33,8 +31,6 @@ from repro.graphs.validation import validate_graph
 from repro.gpusim.sorting import next_pow2
 from repro.metrics.recall import recall_at_k
 
-GRAPH_TYPES = ("nsw", "hnsw", "knn")
-STRATEGIES = ("ggraphcon", "naive-parallel", "serial")
 SEARCH_ALGORITHMS = ("ganns", "song", "beam")
 
 _INDEX_FORMAT_VERSION = 1
@@ -53,10 +49,9 @@ class GannsIndex:
                  graph_type: str, metric: str,
                  order: Optional[np.ndarray] = None,
                  build_report: Optional[ConstructionReport] = None):
-        if graph_type not in GRAPH_TYPES:
-            raise ConfigurationError(
-                f"unknown graph_type {graph_type!r}; valid: {GRAPH_TYPES}"
-            )
+        #: The family's registered backend (raises
+        #: :class:`~repro.errors.UnknownFamilyError` on unknown names).
+        self.backend = get_backend(graph_type)
         self.points = np.asarray(points)
         self.graph = graph
         self.graph_type = graph_type
@@ -79,7 +74,9 @@ class GannsIndex:
 
         Args:
             points: ``(n, d)`` float matrix.
-            graph_type: ``"nsw"``, ``"hnsw"`` or ``"knn"``.
+            graph_type: A registered index family —
+                :func:`repro.core.backend.backend_families` lists them
+                (``"nsw"``, ``"hnsw"``, ``"knn"``, ``"cagra"``, ...).
             strategy: ``"ggraphcon"`` (the paper's scheme),
                 ``"naive-parallel"`` or ``"serial"`` (NSW only).
             metric: ``"euclidean"`` or ``"cosine"``.
@@ -88,55 +85,25 @@ class GannsIndex:
             search_kernel: ``"ganns"`` or ``"song"`` construction searches.
             knn_k: Row width for ``graph_type="knn"``.
             validate: Run structural validation on the result.
-            **kwargs: Forwarded to the underlying construction function.
+            **kwargs: Forwarded to the family's construction function.
 
         Returns:
             A ready-to-search :class:`GannsIndex`.
+
+        Raises:
+            UnknownFamilyError: When ``graph_type`` is not registered.
         """
         if params is None:
             params = BuildParams()
         points = np.asarray(points)
-        order = None
-
-        if graph_type == "nsw":
-            if strategy == "ggraphcon":
-                report = build_nsw_gpu(points, params,
-                                       search_kernel=search_kernel,
-                                       metric=metric, **kwargs)
-            elif strategy == "naive-parallel":
-                report = build_nsw_naive_parallel(
-                    points, params, search_kernel=search_kernel,
-                    metric=metric, **kwargs)
-            elif strategy == "serial":
-                report = build_nsw_serial_gpu(
-                    points, params, search_kernel=search_kernel,
-                    metric=metric, **kwargs)
-            else:
-                raise ConfigurationError(
-                    f"unknown strategy {strategy!r}; valid: {STRATEGIES}"
-                )
-            graph = report.graph
-            index_points = points
-        elif graph_type == "hnsw":
-            if strategy != "ggraphcon":
-                raise ConfigurationError(
-                    "HNSW construction supports only the ggraphcon strategy"
-                )
-            report = build_hnsw_gpu(points, params,
-                                    search_kernel=search_kernel,
-                                    metric=metric, **kwargs)
-            graph = report.graph
-            order = report.order
-            index_points = points[order]
-        elif graph_type == "knn":
-            report = build_knn_graph_gpu(points, knn_k, params,
-                                         metric=metric, **kwargs)
-            graph = report.graph
-            index_points = points
-        else:
-            raise ConfigurationError(
-                f"unknown graph_type {graph_type!r}; valid: {GRAPH_TYPES}"
-            )
+        backend = get_backend(graph_type)
+        report = backend.build(points, params, metric=metric,
+                               strategy=strategy,
+                               search_kernel=search_kernel, knn_k=knn_k,
+                               **kwargs)
+        graph = report.graph
+        order = backend.order_of(report)
+        index_points = backend.index_points(points, report)
 
         if validate:
             flat = graph.bottom if isinstance(graph, HierarchicalGraph) \
@@ -147,9 +114,19 @@ class GannsIndex:
 
     @classmethod
     def from_graph(cls, points: np.ndarray, graph: ProximityGraph,
-                   metric: Optional[str] = None) -> "GannsIndex":
-        """Wrap an externally built flat graph into an index."""
-        return cls(points, graph, "nsw",
+                   metric: Optional[str] = None,
+                   graph_type: str = "nsw") -> "GannsIndex":
+        """Wrap an externally built flat graph into an index.
+
+        Args:
+            points: The point matrix the graph was built over.
+            graph: A flat :class:`ProximityGraph`.
+            metric: Metric name; defaults to the graph's.
+            graph_type: The registered family the graph belongs to
+                (resolved through the backend registry, so unknown names
+                raise :class:`~repro.errors.UnknownFamilyError`).
+        """
+        return cls(points, graph, graph_type,
                    metric or graph.metric_name)
 
     # ------------------------------------------------------------------
@@ -206,8 +183,8 @@ class GannsIndex:
         if algorithm == "ganns":
             params = SearchParams(k=k, l_n=l_n, e=e, n_threads=n_threads,
                                   backend=backend)
-            report = ganns_search(flat, self.points, queries, params,
-                                  entry=entries)
+            report = self.backend.search(flat, self.points, queries,
+                                         params, entry=entries)
         elif algorithm == "song":
             params = SongParams(k=k, pq_bound=e or l_n, n_threads=n_threads)
             report = song_search(flat, self.points, queries, params,
@@ -253,25 +230,17 @@ class GannsIndex:
     # ------------------------------------------------------------------
 
     def save(self, path: Union[str, os.PathLike]) -> None:
-        """Write the index to a ``.npz`` archive (flat graphs only)."""
+        """Write the index to a ``.npz`` archive.
+
+        The family's backend contributes the graph arrays
+        (:meth:`~repro.core.backend.IndexBackend.serialize_graph`), so
+        the format follows the family: flat layouts for NSW/KNN/CAGRA,
+        the layered layout for HNSW.
+        """
+        arrays = dict(self.backend.serialize_graph(self.graph))
         if isinstance(self.graph, HierarchicalGraph):
-            arrays = {
-                "kind": np.array("hierarchical"),
-                "n_layers": np.array(self.graph.n_layers),
-                "layer_sizes": np.asarray(self.graph.layer_sizes),
-            }
-            for i, layer in enumerate(self.graph.layers):
-                arrays[f"layer{i}_ids"] = layer.neighbor_ids
-                arrays[f"layer{i}_dists"] = layer.neighbor_dists
-                arrays[f"layer{i}_degrees"] = layer.degrees
             d_max = self.graph.bottom.d_max
         else:
-            arrays = {
-                "kind": np.array("flat"),
-                "graph_ids": self.graph.neighbor_ids,
-                "graph_dists": self.graph.neighbor_dists,
-                "graph_degrees": self.graph.degrees,
-            }
             d_max = self.graph.d_max
         arrays.update({
             "format_version": np.array(_INDEX_FORMAT_VERSION),
@@ -297,22 +266,16 @@ class GannsIndex:
             metric = str(archive["metric"])
             d_max = int(archive["d_max"])
             points = archive["points"]
+            graph_type = str(archive["graph_type"])
+            backend = get_backend(graph_type)
             kind = str(archive["kind"])
-            if kind == "flat":
-                graph = ProximityGraph(len(points), d_max, metric)
-                graph.neighbor_ids = archive["graph_ids"]
-                graph.neighbor_dists = archive["graph_dists"]
-                graph.degrees = archive["graph_degrees"]
-            else:
-                sizes = archive["layer_sizes"].tolist()
-                layers = []
-                for i in range(int(archive["n_layers"])):
-                    layer = ProximityGraph(len(points), d_max, metric)
-                    layer.neighbor_ids = archive[f"layer{i}_ids"]
-                    layer.neighbor_dists = archive[f"layer{i}_dists"]
-                    layer.degrees = archive[f"layer{i}_degrees"]
-                    layers.append(layer)
-                graph = HierarchicalGraph(layers, sizes)
+            expected = "hierarchical" if backend.hierarchical else "flat"
+            if kind != expected:
+                raise ConfigurationError(
+                    f"index file {path!r} stores a {kind!r} graph but "
+                    f"family {graph_type!r} expects {expected!r}"
+                )
+            graph = backend.deserialize_graph(archive, len(points),
+                                              d_max, metric)
             order = archive["order"] if "order" in archive.files else None
-            return cls(points, graph, str(archive["graph_type"]), metric,
-                       order=order)
+            return cls(points, graph, graph_type, metric, order=order)

@@ -20,6 +20,28 @@ class ConfigurationError(ReproError):
     """
 
 
+class UnknownFamilyError(ConfigurationError):
+    """A graph_type / index-family name is not in the backend registry.
+
+    Raised by :func:`repro.core.backend.get_backend` (and therefore by
+    every entry point that selects an index family by name: the
+    :class:`~repro.core.index.GannsIndex` constructors, the serving and
+    cluster engines, and the ``repro build`` CLI).  Subclasses
+    :class:`ConfigurationError` so existing ``except ConfigurationError``
+    call sites keep working.
+    """
+
+
+class UnsupportedOperationError(ReproError):
+    """A registered index family does not support the requested operation.
+
+    Examples: asking the mutable index to stream inserts into a family
+    whose builder is batch-only (CAGRA), or sharding a cluster over a
+    family with no flat serving graph.  Raised eagerly at configuration
+    time, never mid-mutation.
+    """
+
+
 class DeviceError(ReproError):
     """A simulated-device constraint was violated.
 

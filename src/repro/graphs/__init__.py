@@ -10,6 +10,7 @@ from repro.graphs.adjacency import ProximityGraph, HierarchicalGraph
 from repro.graphs.validation import validate_graph
 from repro.graphs.stats import (
     GraphStats,
+    graph_digest,
     graph_stats,
     average_out_degree,
     reachable_fraction,
@@ -30,6 +31,7 @@ __all__ = [
     "HierarchicalGraph",
     "validate_graph",
     "GraphStats",
+    "graph_digest",
     "graph_stats",
     "average_out_degree",
     "reachable_fraction",

@@ -12,13 +12,14 @@ measures the evaluation leans on:
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import GraphError
-from repro.graphs.adjacency import ProximityGraph
+from repro.graphs.adjacency import HierarchicalGraph, ProximityGraph
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,28 @@ def reachable_fraction(graph: ProximityGraph, entry: int = 0) -> float:
                 seen[u] = True
                 frontier.append(u)
     return float(seen.mean())
+
+
+def graph_digest(graph) -> str:
+    """Byte-level BLAKE2b digest of a graph's adjacency arrays.
+
+    Two graphs digest equal iff their neighbor ids, distances, degrees
+    (and, for a :class:`HierarchicalGraph`, layer sizes) are
+    byte-identical — the determinism currency of the backend
+    conformance suite and the CAGRA golden file.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    if isinstance(graph, HierarchicalGraph):
+        digest.update(np.asarray(graph.layer_sizes,
+                                 dtype=np.int64).tobytes())
+        layers = graph.layers
+    else:
+        layers = [graph]
+    for layer in layers:
+        digest.update(np.ascontiguousarray(layer.neighbor_ids).tobytes())
+        digest.update(np.ascontiguousarray(layer.neighbor_dists).tobytes())
+        digest.update(np.ascontiguousarray(layer.degrees).tobytes())
+    return digest.hexdigest()
 
 
 def edge_recall_against(candidate: ProximityGraph,

@@ -112,13 +112,31 @@ class MutableIndex:
               metric: str = "euclidean", search_kernel: str = "ganns",
               device: DeviceSpec = QUADRO_P5000,
               costs: CostTable = DEFAULT_COSTS,
-              backend: Optional[str] = None) -> "MutableIndex":
+              backend: Optional[str] = None,
+              family: str = "nsw") -> "MutableIndex":
         """Offline-build the seed corpus and open the durable store.
 
         The seed build is itself WAL-logged (as one big ``insert``
         record at LSN 1), so a crash before the first checkpoint still
         recovers by replaying from an empty store.
+
+        Args:
+            family: Registered index family of the seed graph.  Only
+                families whose backend sets ``supports_mutation`` can
+                host streaming inserts; others (CAGRA, HNSW, KNN) raise
+                :class:`~repro.errors.UnsupportedOperationError` here,
+                eagerly, instead of corrupting a batch-built graph
+                mid-mutation.
         """
+        from repro.core.backend import get_backend
+        from repro.errors import UnsupportedOperationError
+        index_backend = get_backend(family)
+        if not index_backend.supports_mutation:
+            raise UnsupportedOperationError(
+                f"index family {family!r} does not support streaming "
+                f"mutation; its graphs are batch-built — rebuild (or "
+                f"snapshot-and-rebuild) instead, or use family 'nsw'"
+            )
         points = np.ascontiguousarray(points, dtype=np.float64)
         store = DurableStore()
         store.meta = {

@@ -181,6 +181,10 @@ class ServeEngine:
         default_deadline_seconds: Deadline applied to requests that do
             not carry their own (relative to arrival); ``None`` means
             no deadline.
+        family: Registered index family of the served graph (default
+            ``"nsw"``).  Folded into every result-cache signature, so a
+            cache shared across engines can never serve one family's
+            results for another's.
     """
 
     def __init__(self, graph: ProximityGraph, points: np.ndarray,
@@ -194,7 +198,15 @@ class ServeEngine:
                  retry: Optional[RetryPolicy] = None,
                  breaker: Optional[BreakerPolicy] = None,
                  governor: Optional[AdmissionGovernor] = None,
-                 default_deadline_seconds: Optional[float] = None):
+                 default_deadline_seconds: Optional[float] = None,
+                 family: str = "nsw"):
+        from repro.core.backend import get_backend
+        get_backend(family)  # typed error on unknown family names
+        #: Index family of the served graph.  Results are family-shaped,
+        #: so the family is folded into every cache signature — two
+        #: engines sharing one :class:`ResultCache` across families can
+        #: never serve each other's entries.
+        self.family = family
         self.graph = graph
         self.points = np.asarray(points)
         if self.points.ndim != 2:
@@ -300,7 +312,7 @@ class ServeEngine:
         """
         wall_start = time.perf_counter()
         trace = list(trace)
-        signature = self.params.signature()
+        signature = (self.family,) + self.params.signature()
         backend_name = resolve_backend(self.params.backend)
         scheduler = MicroBatchScheduler(self.policy)
         clock = _EngineClock()

@@ -1,0 +1,186 @@
+"""Backend conformance: one battery every registered index family passes.
+
+This suite is the contract behind ``register_backend``: a new family is
+tested *by registration* — it appears in
+:func:`repro.core.backend.backend_families` and every test here runs
+against it, parametrized over the registry rather than a hand-kept
+list.  Per family, on a small fixed-seed synthetic dataset:
+
+- **build determinism** — same seed twice gives a byte-identical graph
+  digest;
+- **persistence** — ``save``/``load`` round-trips the graph digest and
+  the search results;
+- **structure** — the (bottom-layer) graph passes
+  :func:`validate_graph` and clears the family's reachability floor;
+- **recall** — recall@10 clears the family's declared floor;
+- **cost-model reconciliation** — the backend's cycle hooks agree with
+  the tracker and with the simulated-seconds inverse, with zero drift
+  through the observability bridge;
+- **exactness at saturation** — with ``l_n >= n`` over a fully
+  reachable graph, GANNS search *is* brute force (families that permit
+  disconnection opt out via their profile).
+
+Thresholds come from each backend's
+:meth:`~repro.core.backend.IndexBackend.conformance_profile`, so a
+family can be honest about weaker guarantees (the plain KNN digraph)
+without weakening anyone else's contract.
+"""
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro import GannsIndex
+from repro.core import backend_families, get_backend
+from repro.core.params import BuildParams
+from repro.datasets.ground_truth import exact_knn
+from repro.datasets.synthetic import gaussian_mixture
+from repro.graphs import HierarchicalGraph, validate_graph
+from repro.graphs.stats import graph_digest, reachable_fraction
+from repro.gpusim import DEFAULT_COSTS, QUADRO_P5000
+from repro.metrics import recall_at_k
+from repro.observability import MetricsRegistry
+from repro.observability.bridge import (
+    KERNEL_CYCLES_PREFIX,
+    publish_tracker_totals,
+)
+
+N_POINTS = 220
+N_QUERIES = 32
+N_DIMS = 16
+K = 10
+L_N = 64
+#: Smallest power of two >= N_POINTS: the search pool covers the graph.
+SATURATING_L_N = 256
+SEED = 7
+
+FAMILIES = backend_families()
+
+#: One build per family, shared across the battery (builds dominate
+#: this suite's wall clock; every test below is read-only on these).
+_CACHE = {}
+
+
+def _dataset():
+    points = gaussian_mixture(N_POINTS, N_DIMS, n_clusters=6,
+                              cluster_std=0.3, intrinsic_dim=6, seed=41)
+    queries = gaussian_mixture(N_QUERIES, N_DIMS, n_clusters=6,
+                               cluster_std=0.3, intrinsic_dim=6, seed=42)
+    return points, queries
+
+
+def _build(family):
+    profile = get_backend(family).conformance_profile()
+    points, _ = _dataset()
+    params = BuildParams(d_min=8, d_max=16, seed=SEED)
+    return GannsIndex.build(points, graph_type=family, params=params,
+                            **profile.build_kwargs)
+
+
+def _built(family):
+    if family not in _CACHE:
+        _CACHE[family] = _build(family)
+    return _CACHE[family]
+
+
+def _bottom(graph):
+    return graph.bottom if isinstance(graph, HierarchicalGraph) else graph
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+class TestBackendConformance:
+    def test_build_is_deterministic(self, family):
+        digest_a = graph_digest(_built(family).graph)
+        digest_b = graph_digest(_build(family).graph)
+        assert digest_a == digest_b, (
+            f"family {family!r}: same seed produced different graphs"
+        )
+
+    def test_save_load_round_trip(self, family):
+        index = _built(family)
+        _, queries = _dataset()
+        before_ids, before_dists = index.search(queries, k=K, l_n=L_N)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, f"{family}.npz")
+            index.save(path)
+            loaded = GannsIndex.load(path)
+        assert loaded.graph_type == family
+        assert graph_digest(loaded.graph) == graph_digest(index.graph)
+        after_ids, after_dists = loaded.search(queries, k=K, l_n=L_N)
+        assert after_ids.tobytes() == before_ids.tobytes()
+        assert after_dists.tobytes() == before_dists.tobytes()
+
+    def test_graph_validates_and_is_reachable(self, family):
+        index = _built(family)
+        profile = index.backend.conformance_profile()
+        flat = _bottom(index.graph)
+        validate_graph(flat)
+        reachable = reachable_fraction(flat)
+        assert reachable >= profile.reachable_floor, (
+            f"family {family!r}: only {reachable:.3f} of vertices "
+            f"reachable (floor {profile.reachable_floor})"
+        )
+
+    def test_recall_clears_family_floor(self, family):
+        index = _built(family)
+        profile = index.backend.conformance_profile()
+        points, queries = _dataset()
+        ids, _ = index.search(queries, k=K, l_n=L_N)
+        recall = recall_at_k(ids, exact_knn(points, queries, K))
+        assert recall >= profile.recall_floor, (
+            f"family {family!r}: recall@{K} {recall:.3f} below floor "
+            f"{profile.recall_floor}"
+        )
+
+    def test_cost_model_reconciles(self, family):
+        index = _built(family)
+        backend = index.backend
+        _, queries = _dataset()
+        report = index.search_report(queries, k=K, l_n=L_N)
+
+        # Search cycles are exactly the tracker total, which is exactly
+        # the sum of its per-phase lanes.
+        cycles = backend.search_cycles(report)
+        assert cycles == report.tracker.total_cycles()
+        assert cycles == pytest.approx(
+            sum(report.tracker.phase_totals().values()), rel=1e-12)
+        assert cycles > 0
+
+        # Publishing through the observability bridge drifts by zero:
+        # the counters re-add to the same total.
+        registry = MetricsRegistry()
+        publish_tracker_totals(registry, report.tracker)
+        total_key = KERNEL_CYCLES_PREFIX.rstrip(".") + "_total"
+        assert registry.value(total_key) == pytest.approx(cycles, rel=1e-12)
+
+        # Construction cycles invert the simulated clock exactly.
+        build = index.build_report
+        cycles = backend.construction_cycles(build, QUADRO_P5000,
+                                             DEFAULT_COSTS)
+        seconds = cycles * DEFAULT_COSTS.time_scale / QUADRO_P5000.clock_hz
+        assert seconds == pytest.approx(build.seconds, rel=1e-12)
+        assert backend.memory_bytes(index.graph) > 0
+
+    def test_exact_at_saturating_pool(self, family):
+        index = _built(family)
+        profile = index.backend.conformance_profile()
+        flat = _bottom(index.graph)
+        if not (profile.exact_at_saturation
+                and reachable_fraction(flat) == 1.0):
+            pytest.skip(f"family {family!r} does not pin exactness at "
+                        f"saturation")
+        points, queries = _dataset()
+        ids, _ = index.search(queries, k=K, l_n=SATURATING_L_N)
+        truth = exact_knn(points, queries, K)
+        assert recall_at_k(ids, truth) == 1.0, (
+            f"family {family!r}: saturating search (l_n={SATURATING_L_N} "
+            f">= n={N_POINTS}) must equal brute force"
+        )
+
+
+def test_new_families_are_covered_by_registration():
+    """The suite parametrizes over the live registry, not a frozen list."""
+    assert set(FAMILIES) >= {"nsw", "hnsw", "knn", "cagra"}
+    assert FAMILIES == backend_families()

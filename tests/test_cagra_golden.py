@@ -1,0 +1,84 @@
+"""Golden-file determinism for the CAGRA family, frozen byte-for-byte.
+
+Pins two artifacts of the frozen scenario against
+``tests/data/cagra_golden.npz``:
+
+* the built graph's :func:`~repro.graphs.stats.graph_digest` (any bit
+  of adjacency that moves — a changed detour count, a different
+  tie-break in the reverse merge — changes the digest), and
+* the GANNS search ids/dists over that graph.
+
+Any change that shifts either must be a conscious act:
+
+    PYTHONPATH=src python scripts/regen_golden.py --cagra
+"""
+
+import os
+
+import numpy as np
+
+from repro.core.cagra import build_cagra_gpu
+from repro.core.ganns import ganns_search
+from repro.core.params import BuildParams, SearchParams
+from repro.datasets.synthetic import gaussian_mixture
+from repro.graphs.stats import graph_digest
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "cagra_golden.npz")
+
+#: The frozen scenario.  Never change these values without regenerating
+#: the golden file (and saying so in the commit message).
+N_POINTS = 300
+N_QUERIES = 25
+N_DIMS = 16
+SEED_POINTS = 52
+SEED_QUERIES = 53
+BUILD = BuildParams(d_min=8, d_max=16, seed=11)
+SEARCH = SearchParams(k=10, l_n=32, e=24)
+
+
+def compute_golden():
+    """Run the frozen scenario from scratch (dataset, graph, search)."""
+    points = gaussian_mixture(N_POINTS, N_DIMS, n_clusters=6,
+                              cluster_std=0.3, intrinsic_dim=6,
+                              seed=SEED_POINTS)
+    queries = gaussian_mixture(N_QUERIES, N_DIMS, n_clusters=6,
+                               cluster_std=0.3, intrinsic_dim=6,
+                               seed=SEED_QUERIES)
+    graph = build_cagra_gpu(points, BUILD).graph
+    report = ganns_search(graph, points, queries, SEARCH)
+    return graph, report.ids, report.dists
+
+
+def write_golden(graph, ids, dists):
+    """(Re)write the committed artifact; used by scripts/regen_golden.py."""
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    np.savez(GOLDEN_PATH,
+             digest=np.array(graph_digest(graph)),
+             ids=ids, dists=dists)
+
+
+class TestCagraGolden:
+    def test_golden_file_is_committed(self):
+        assert os.path.exists(GOLDEN_PATH), (
+            f"golden file missing at {GOLDEN_PATH}; regenerate with "
+            f"PYTHONPATH=src python scripts/regen_golden.py --cagra"
+        )
+
+    def test_build_and_search_match_golden_byte_for_byte(self):
+        graph, ids, dists = compute_golden()
+        with np.load(GOLDEN_PATH) as golden:
+            golden_digest = str(golden["digest"])
+            golden_ids = golden["ids"]
+            golden_dists = golden["dists"]
+        assert graph_digest(graph) == golden_digest
+        assert ids.dtype == golden_ids.dtype
+        assert dists.dtype == golden_dists.dtype
+        assert ids.tobytes() == golden_ids.tobytes()
+        assert dists.tobytes() == golden_dists.tobytes()
+
+    def test_back_to_back_builds_are_byte_identical(self):
+        graph_a, ids_a, _ = compute_golden()
+        graph_b, ids_b, _ = compute_golden()
+        assert graph_digest(graph_a) == graph_digest(graph_b)
+        assert ids_a.tobytes() == ids_b.tobytes()

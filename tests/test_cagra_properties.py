@@ -1,0 +1,119 @@
+"""Property-based invariants for the CAGRA-style family (hypothesis).
+
+Three structural guarantees of :mod:`repro.core.cagra`:
+
+* **Fixed out-degree** — a built CAGRA graph is perfectly regular:
+  every vertex has out-degree exactly ``min(graph_degree, n - 1)``,
+  with no padding slots left in any row.
+* **Permutation invariance** — :func:`rank_prune` operates on the
+  canonical rank order, so shuffling a candidate list (or injecting
+  duplicates and padding) cannot change the selected edges.
+* **Rank-0 survival** — :func:`reverse_merge` pins the closest half of
+  each vertex's forward edges, so the rank-0 (closest) forward edge is
+  never displaced by reverse traffic.
+
+Examples stay small (a few dozen points) because each draws a fresh
+point set; ``deadline=None`` since a single example pays for pairwise
+distance work.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cagra import build_cagra_gpu, rank_prune, reverse_merge
+from repro.core.params import BuildParams
+from repro.datasets.synthetic import gaussian_mixture
+from repro.graphs.adjacency import PAD_ID
+
+_SLOW = settings(max_examples=15, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def _points(n, dims, seed):
+    return gaussian_mixture(n, dims, n_clusters=4, cluster_std=0.4,
+                            intrinsic_dim=min(dims, 4), seed=seed)
+
+
+@_SLOW
+@given(n=st.integers(12, 48), degree=st.integers(2, 10),
+       seed=st.integers(0, 2**16))
+def test_out_degree_is_exactly_fixed(n, degree, seed):
+    points = _points(n, 8, seed)
+    report = build_cagra_gpu(points, BuildParams(seed=0),
+                             graph_degree=degree, knn_iterations=4)
+    graph = report.graph
+    expect = min(degree, n - 1)
+    assert graph.d_max == expect
+    np.testing.assert_array_equal(graph.degrees,
+                                  np.full(n, expect, dtype=graph.degrees.dtype))
+    # Regularity is real, not just claimed: no padding inside any row.
+    assert np.all(graph.neighbor_ids[:, :expect] != PAD_ID)
+
+
+@_SLOW
+@given(n=st.integers(10, 40), m=st.integers(4, 16),
+       degree=st.integers(2, 8), seed=st.integers(0, 2**16))
+def test_rank_prune_is_permutation_invariant(n, m, degree, seed):
+    rng = np.random.default_rng(seed)
+    points = _points(n, 6, seed)
+    vertex = points[0]
+    cand_ids = rng.choice(np.arange(1, n), size=min(m, n - 1),
+                          replace=False).astype(np.int64)
+    cand_dists = np.sum((points[cand_ids] - vertex) ** 2, axis=1)
+
+    base_ids, base_dists = rank_prune(cand_ids, cand_dists, points, degree)
+
+    perm = rng.permutation(len(cand_ids))
+    perm_ids, perm_dists = rank_prune(cand_ids[perm], cand_dists[perm],
+                                      points, degree)
+    np.testing.assert_array_equal(base_ids, perm_ids)
+    np.testing.assert_array_equal(base_dists, perm_dists)
+
+    # Padding and duplicated candidates are canonicalised away too.
+    noisy_ids = np.concatenate([cand_ids[perm], cand_ids[:2],
+                                np.full(3, PAD_ID, dtype=np.int64)])
+    noisy_dists = np.concatenate([cand_dists[perm], cand_dists[:2],
+                                  np.full(3, np.inf)])
+    noisy_kept, _ = rank_prune(noisy_ids, noisy_dists, points, degree)
+    np.testing.assert_array_equal(base_ids, noisy_kept)
+
+
+@_SLOW
+@given(n=st.integers(8, 32), degree=st.integers(2, 8),
+       seed=st.integers(0, 2**16))
+def test_reverse_merge_keeps_every_rank0_edge(n, degree, seed):
+    points = _points(n, 6, seed)
+    width = min(degree, n - 1)
+    # Forward rows: each vertex's `width` nearest others, rank-ordered.
+    sq = np.sum((points[:, None, :] - points[None, :, :]) ** 2, axis=2)
+    np.fill_diagonal(sq, np.inf)
+    order = np.argsort(sq, axis=1, kind="stable")[:, :width]
+    forward_ids = order.astype(np.int64)
+    forward_dists = np.take_along_axis(sq, order, axis=1)
+
+    merged_ids, merged_dists = reverse_merge(forward_ids, forward_dists,
+                                             width)
+    for vertex in range(n):
+        rank0 = forward_ids[vertex, 0]
+        assert rank0 in merged_ids[vertex], (
+            f"vertex {vertex}: closest forward edge {rank0} dropped"
+        )
+    # Merged rows stay canonically sorted by (dist, id).
+    for vertex in range(n):
+        row_d = merged_dists[vertex]
+        row_i = merged_ids[vertex]
+        live = row_i != PAD_ID
+        pairs = list(zip(row_d[live], row_i[live]))
+        assert pairs == sorted(pairs)
+
+
+def test_rank_prune_small_list_passes_through():
+    points = _points(20, 6, 3)
+    cand_ids = np.array([3, 5, 9], dtype=np.int64)
+    cand_dists = np.sum((points[cand_ids] - points[0]) ** 2, axis=1)
+    kept_ids, kept_dists = rank_prune(cand_ids, cand_dists, points, 8)
+    order = np.lexsort((cand_ids, cand_dists))
+    np.testing.assert_array_equal(kept_ids, cand_ids[order])
+    np.testing.assert_array_equal(kept_dists, cand_dists[order])

@@ -1,0 +1,105 @@
+"""Cross-family serving equivalence: NSW and CAGRA behind one engine.
+
+The serving layer must be family-agnostic: replaying the *same* trace
+through a :class:`ServeEngine` over an NSW graph and over a CAGRA graph
+(same corpus, same search parameters) must
+
+* demux each family's results exactly as a direct ``ganns_search`` over
+  that family's graph would (the engine adds batching, never answers),
+* reconcile with the metrics registry with zero drift for *both*
+  families (:meth:`ServeReport.verify_against_metrics`), and
+* never cross-serve cached results between families: the result-cache
+  signature carries the family component, so a shared
+  :class:`ResultCache` keeps the two engines' entries disjoint even for
+  byte-identical queries.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GannsIndex
+from repro.core.ganns import ganns_search
+from repro.core.params import BuildParams, SearchParams
+from repro.datasets.synthetic import gaussian_mixture
+from repro.serve import (
+    BatchPolicy,
+    QueryRequest,
+    RequestStatus,
+    ResultCache,
+    ServeEngine,
+)
+
+PARAMS = SearchParams(k=5, l_n=32)
+POLICY = BatchPolicy(max_batch=8, max_wait_seconds=1e-3, max_queue=128)
+FAMILIES = ("nsw", "cagra")
+
+_POINTS = gaussian_mixture(200, 12, n_clusters=5, cluster_std=0.35,
+                           intrinsic_dim=5, seed=61)
+_QUERIES = gaussian_mixture(24, 12, n_clusters=5, cluster_std=0.35,
+                            intrinsic_dim=5, seed=62)
+
+_GRAPHS = {
+    family: GannsIndex.build(_POINTS, graph_type=family,
+                             params=BuildParams(d_min=8, d_max=16,
+                                                seed=3)).graph
+    for family in FAMILIES
+}
+
+
+def _trace(queries, spacing=1e-4):
+    return [QueryRequest(request_id=i, queries=queries[i:i + 1],
+                         arrival_seconds=i * spacing)
+            for i in range(len(queries))]
+
+
+def _engine(family, cache=None):
+    return ServeEngine(_GRAPHS[family], _POINTS, PARAMS, policy=POLICY,
+                       cache=cache, family=family)
+
+
+class TestPerFamilyExactness:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_replay_matches_direct_search(self, family):
+        report = _engine(family).replay(_trace(_QUERIES))
+        direct = ganns_search(_GRAPHS[family], _POINTS, _QUERIES, PARAMS)
+        assert report.n_served == len(_QUERIES)
+        for i, outcome in enumerate(report.outcomes):
+            assert np.array_equal(outcome.ids[0], direct.ids[i])
+            assert np.array_equal(outcome.dists[0], direct.dists[i])
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_metrics_reconcile_with_zero_drift(self, family):
+        report = _engine(family).replay(_trace(_QUERIES))
+        assert report.metrics is not None
+        report.verify_against_metrics()
+
+
+class TestFamiliesNeverCrossServe:
+    def test_shared_cache_keeps_family_entries_disjoint(self):
+        # Same corpus, same queries, same params, one shared cache:
+        # the second family must MISS everything the first cached.
+        cache = ResultCache(capacity=256)
+        repeated = np.concatenate([_QUERIES[:8], _QUERIES[:8]])
+
+        nsw_report = _engine("nsw", cache=cache).replay(
+            _trace(repeated, spacing=5e-3))
+        nsw_statuses = [o.status for o in nsw_report.outcomes]
+        assert nsw_statuses[8:] == [RequestStatus.CACHE_HIT] * 8
+
+        cagra_report = _engine("cagra", cache=cache).replay(
+            _trace(repeated, spacing=5e-3))
+        statuses = [o.status for o in cagra_report.outcomes]
+        # First 8 are fresh SERVED (no cross-family hit on the nsw
+        # entries); the repeats then hit cagra's own entries.
+        assert statuses[:8] == [RequestStatus.SERVED] * 8
+        assert statuses[8:] == [RequestStatus.CACHE_HIT] * 8
+        for first, second in zip(cagra_report.outcomes[:8],
+                                 cagra_report.outcomes[8:]):
+            assert np.array_equal(first.ids, second.ids)
+
+    def test_cache_signatures_differ_only_by_family(self):
+        nsw_sig = (_engine("nsw").family,) + PARAMS.signature()
+        cagra_sig = (_engine("cagra").family,) + PARAMS.signature()
+        assert nsw_sig != cagra_sig
+        assert nsw_sig[1:] == cagra_sig[1:]
+        assert nsw_sig[0] == "nsw" and cagra_sig[0] == "cagra"
