@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-full bench-wallclock perf-smoke \
-	bakeoff-smoke cluster-smoke mutate-smoke experiments examples clean
+	quant-smoke bakeoff-smoke cluster-smoke mutate-smoke experiments \
+	examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -26,6 +27,14 @@ perf-smoke:
 	$(PYTHON) benchmarks/bench_wallclock.py --quick \
 		--output wallclock_smoke.json
 	$(PYTHON) scripts/check_perf_smoke.py wallclock_smoke.json
+
+# The CI quant gate: quantized staged search >= 1.5x over the exact
+# fast backend, recall@10 within 0.02, deterministic, and serve-replay
+# quant metrics reconcile with zero drift.
+quant-smoke:
+	$(PYTHON) benchmarks/bench_wallclock.py --quant-smoke \
+		--output quant_smoke.json
+	$(PYTHON) scripts/check_quant_smoke.py quant_smoke.json
 
 # The CI bake-off gate: every family clears its recall floor and cagra
 # construction stays below nsw on the smoke dataset.

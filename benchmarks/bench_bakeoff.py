@@ -9,7 +9,12 @@ Builds every registered index family (``nsw``, ``hnsw``, ``knn``,
 - **search cycles** (simulated-kernel cycle total over the query batch),
 - **construction cycles** (the build's simulated seconds converted back
   through the device clock),
-- **graph memory bytes**.
+- **graph memory bytes**,
+- **vector footprint** — bytes per vector of the raw float64/float32
+  representations next to the family's quantized tables (fp16, int8,
+  pca; built through the :meth:`~repro.core.backend.IndexBackend.
+  quantize` hook, same code path the staged search traverses — see
+  ``docs/quantization.md``).
 
 All cycle figures come from the family's :class:`~repro.core.backend.
 IndexBackend` cost-model hooks, so the comparison is apples-to-apples
@@ -34,7 +39,10 @@ from repro import GannsIndex, load_dataset, recall_at_k
 from repro.core import BuildParams, backend_families, get_backend
 from repro.gpusim import DEFAULT_COSTS, QUADRO_P5000
 
-SCHEMA = "repro.bench_bakeoff/v1"
+SCHEMA = "repro.bench_bakeoff/v2"
+
+#: Quantized representations reported in the footprint columns.
+QUANT_MODES = ("fp16", "int8", "pca")
 
 #: Families benchmarked by default: every registered one.
 FAMILIES = backend_families()
@@ -44,6 +52,24 @@ DATASETS = [
     ("sift1m", 500, 100),
     ("nytimes", 900, 150),
 ]
+
+
+def _vector_footprint(backend, index):
+    """Bytes/vector of the raw and quantized point representations.
+
+    The quantized figures amortize side tables (PCA basis, int8 scale
+    rows, cached norms) over the point count, so they are honest
+    storage costs, not just code widths.
+    """
+    n_dims = index.points.shape[1]
+    footprint = {
+        "float64": float(8 * n_dims),
+        "float32": float(4 * n_dims),
+    }
+    for mode in QUANT_MODES:
+        table = backend.quantize(index.points, mode, metric=index.metric)
+        footprint[mode] = table.bytes_per_vector()
+    return footprint
 
 
 def _bakeoff_cell(dataset, family, k=10, l_n=64, seed=7):
@@ -66,6 +92,7 @@ def _bakeoff_cell(dataset, family, k=10, l_n=64, seed=7):
         "construction_cycles": backend.construction_cycles(
             index.build_report, QUADRO_P5000, DEFAULT_COSTS),
         "memory_bytes": backend.memory_bytes(index.graph),
+        "vector_bytes": _vector_footprint(backend, index),
     }
 
 
@@ -90,15 +117,19 @@ def run_bakeoff(quick, families=FAMILIES):
 def print_table(doc):
     """Render the per-family comparison table."""
     header = (f"{'dataset':<12} {'family':<8} {'recall@10':>9} "
-              f"{'search cyc':>12} {'build cyc':>12} {'mem KiB':>9}")
+              f"{'search cyc':>12} {'build cyc':>12} {'mem KiB':>9} "
+              f"{'f32 B/v':>8} {'fp16':>6} {'int8':>6} {'pca':>6}")
     print(header)
     print("-" * len(header))
     for cell in doc["cells"]:
+        vb = cell["vector_bytes"]
         print(f"{cell['dataset']:<12} {cell['family']:<8} "
               f"{cell['recall_at_10']:>9.3f} "
               f"{cell['search_cycles']:>12.0f} "
               f"{cell['construction_cycles']:>12.0f} "
-              f"{cell['memory_bytes'] / 1024:>9.1f}")
+              f"{cell['memory_bytes'] / 1024:>9.1f} "
+              f"{vb['float32']:>8.0f} {vb['fp16']:>6.0f} "
+              f"{vb['int8']:>6.0f} {vb['pca']:>6.0f}")
 
 
 def main(argv=None):

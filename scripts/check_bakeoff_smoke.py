@@ -8,7 +8,10 @@ Asserts the cross-family bake-off contract from
   families,
 - every family clears a recall@10 floor of 0.8 on the smoke dataset,
 - ``nsw`` and ``cagra`` both clear the headline 0.9 recall floor,
-- CAGRA's construction cycles land **below** NSW's at that recall.
+- CAGRA's construction cycles land **below** NSW's at that recall,
+- every cell reports the vector-footprint columns and each quantized
+  representation (fp16/int8/pca) is strictly smaller per vector than
+  the raw float32 points.
 
 Exits non-zero with a diagnostic otherwise.
 
@@ -22,8 +25,9 @@ import argparse
 import json
 import sys
 
-EXPECTED_SCHEMA = "repro.bench_bakeoff/v1"
+EXPECTED_SCHEMA = "repro.bench_bakeoff/v2"
 REQUIRED_FAMILIES = {"nsw", "hnsw", "cagra"}
+REQUIRED_FOOTPRINTS = {"float64", "float32", "fp16", "int8", "pca"}
 
 
 def check(path, min_recall, headline_recall):
@@ -55,6 +59,19 @@ def check(path, min_recall, headline_recall):
     if cagra_cycles >= nsw_cycles:
         return (f"cagra construction ({cagra_cycles:.0f} cycles) is not "
                 f"below nsw ({nsw_cycles:.0f} cycles) on {smoke}")
+    for cell in cells:
+        vb = cell.get("vector_bytes", {})
+        missing_cols = REQUIRED_FOOTPRINTS - set(vb)
+        if missing_cols:
+            return (f"{cell['family']}/{cell['dataset']} is missing "
+                    f"footprint columns: "
+                    f"{', '.join(sorted(missing_cols))}")
+        fat = [mode for mode in ("fp16", "int8", "pca")
+               if vb[mode] >= vb["float32"]]
+        if fat:
+            return (f"{cell['family']}/{cell['dataset']}: quantized "
+                    f"representations not below float32 "
+                    f"({', '.join(fat)})")
     return None
 
 

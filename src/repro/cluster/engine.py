@@ -548,11 +548,22 @@ class ClusterEngine:
                 root_end = max(root_end, last)
             root_end = max(root_end, last_completion, last_arrival
                            if trace else root_start)
+            root_attrs = {"n_requests": len(trace),
+                          "n_shards": self.n_shards,
+                          "n_replicas": self.n_replicas}
+            # Quant attrs only when the shards actually ran the staged
+            # pipeline — exact cluster traces (incl. the committed
+            # golden) stay quant-silent.  The per-shard ServeEngines
+            # share self.params, so their caches are already namespaced
+            # by the same resolved mode.
+            from repro.perf.quant import resolve_quant
+            cluster_quant = resolve_quant(self.params.quant)
+            if cluster_quant is not None:
+                root_attrs["quant.mode"] = cluster_quant
+                root_attrs["quant.rerank"] = self.params.rerank_factor
             root = tracer.begin(
                 "cluster.replay", root_start, lane="cluster",
-                attributes={"n_requests": len(trace),
-                            "n_shards": self.n_shards,
-                            "n_replicas": self.n_replicas})
+                attributes=root_attrs)
             for slot in sorted(slot_spans):
                 first, last, n_requests, n_served = slot_spans[slot]
                 shard = slot // self.n_replicas

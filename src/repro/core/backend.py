@@ -65,12 +65,21 @@ class ConformanceProfile:
             fully connected.
         build_kwargs: Extra keyword arguments the suite passes to
             :meth:`GannsIndex.build` for this family (e.g. ``knn_k``).
+        quant_modes: Quantization modes the conformance suite runs this
+            family's graphs under (every registered family is exercised
+            quantized by default).
+        quant_recall_delta: Maximum recall@10 the staged quantized
+            search may lose versus the exact search on the suite's
+            dataset, for each mode in ``quant_modes`` — the family's
+            honest lossiness bound.
     """
 
     recall_floor: float = 0.9
     reachable_floor: float = 0.95
     exact_at_saturation: bool = True
     build_kwargs: Dict[str, object] = field(default_factory=dict)
+    quant_modes: Tuple[str, ...] = ("fp16", "int8", "pca")
+    quant_recall_delta: float = 0.05
 
 
 class IndexBackend(abc.ABC):
@@ -172,6 +181,27 @@ class IndexBackend(abc.ABC):
     def memory_bytes(self, graph) -> int:
         """Bytes of the graph's dense adjacency representation."""
         return int(graph.memory_bytes())
+
+    def quantize(self, points: np.ndarray, mode: str,
+                 metric: str = "euclidean"):
+        """Compressed distance table for this family's staged search.
+
+        The default delegates to :func:`repro.perf.quant.quantize_points`
+        — every family traverses the same fp16/int8/PCA tables, since
+        the staged pipeline runs over the family's graph through the
+        unmodified GANNS kernels.  A family with its own storage layout
+        (e.g. a future product-quantized one) overrides this; the
+        bake-off's footprint columns and the conformance suite's
+        quantized battery both go through this hook, so an override is
+        automatically measured and tested.
+
+        Returns:
+            A :class:`repro.perf.quant.QuantizedTable` (or an object
+            with its ``bytes_per_vector``/``memory_bytes``/
+            ``dequantize`` surface).
+        """
+        from repro.perf.quant import quantize_points
+        return quantize_points(points, mode, metric)
 
     def conformance_profile(self) -> ConformanceProfile:
         """Thresholds the shared conformance suite applies to this family."""
@@ -292,10 +322,13 @@ class KnnBackend(IndexBackend):
 
     def conformance_profile(self) -> ConformanceProfile:
         # A pure KNN digraph may be disconnected; hold it to honest but
-        # lower floors and skip the exact-at-saturation contract.
+        # lower floors and skip the exact-at-saturation contract.  Its
+        # weaker structure also amplifies traversal perturbations, so
+        # the quantized-recall bound is looser than the default.
         return ConformanceProfile(recall_floor=0.7, reachable_floor=0.6,
                                   exact_at_saturation=False,
-                                  build_kwargs={"knn_k": 16})
+                                  build_kwargs={"knn_k": 16},
+                                  quant_recall_delta=0.1)
 
 
 class CagraBackend(IndexBackend):

@@ -38,6 +38,7 @@ from repro.gpusim.costs import CostTable, DEFAULT_COSTS
 from repro.gpusim.memory import SharedMemoryBudget
 from repro.perf.backend import FAST, resolve_backend
 from repro.perf.distance import resolve_compute_dtype
+from repro.perf.quant import resolve_quant
 
 #: Safety cap on iterations, as a multiple of the explore budget; the
 #: search provably terminates long before this — hitting the cap means a
@@ -117,7 +118,11 @@ def ganns_search(graph: ProximityGraph, points: np.ndarray,
         params: Search parameters (``k``, ``l_n``, ``e``, ``n_threads``);
             ``params.backend`` (or the ``REPRO_BACKEND`` environment
             variable) selects the execution backend — results and cycle
-            charges are backend-independent.
+            charges are backend-independent.  ``params.quant`` (or the
+            ``REPRO_QUANT`` environment variable) instead switches to
+            the lossy two-stage quantized pipeline: compressed
+            traversal over ``rerank_factor * l_n`` candidates, exact
+            rerank before top-k (see :mod:`repro.perf.quant`).
         entry: Start vertex, or a per-query ``(m,)`` id array (as produced
             by an HNSW top-down descent).
         costs: Cycle cost table.
@@ -161,6 +166,18 @@ def ganns_search(graph: ProximityGraph, points: np.ndarray,
         raise SearchError(
             f"entry vertices must lie in [0, {graph.n_vertices})"
         )
+
+    quant_mode = resolve_quant(params.quant)
+    if quant_mode is not None:
+        # The staged pipeline is built from the fast backend's machinery
+        # (arena + GEMM engines) regardless of params.backend — a
+        # "reference quantized" path would be a third implementation
+        # with nothing to be a reference *for*: the staged search is
+        # lossy by design and reported as such.
+        from repro.perf.engine import ganns_search_staged
+        return ganns_search_staged(graph, points, queries, params,
+                                   entries, costs, lazy_check,
+                                   compute_dtype, quant_mode)
 
     if resolve_backend(params.backend) == FAST:
         from repro.perf.engine import ganns_search_fast

@@ -159,7 +159,9 @@ class GannsIndex:
                       algorithm: str = "ganns",
                       l_n: Optional[int] = None, e: Optional[int] = None,
                       n_threads: int = 32,
-                      backend: Optional[str] = None) -> SearchReport:
+                      backend: Optional[str] = None,
+                      quant: Optional[str] = None,
+                      rerank_factor: int = 2) -> SearchReport:
         """Search and return the full :class:`SearchReport`.
 
         Args:
@@ -173,6 +175,12 @@ class GannsIndex:
             backend: Execution backend (``"reference"``/``"fast"``) for
                 GANNS search and HNSW descent; ``None`` defers to the
                 ``REPRO_BACKEND`` environment variable.
+            quant: Quantized staged GANNS search (``"fp16"``/``"int8"``/
+                ``"pca"``; **lossy** — see ``docs/quantization.md``);
+                ``"off"`` forces exact, ``None`` defers to the
+                ``REPRO_QUANT`` environment variable.
+            rerank_factor: Candidate over-fetch of the staged search
+                (pool of ``rerank_factor * l_n`` reranked exactly).
         """
         queries = np.asarray(queries)
         if l_n is None:
@@ -182,7 +190,8 @@ class GannsIndex:
 
         if algorithm == "ganns":
             params = SearchParams(k=k, l_n=l_n, e=e, n_threads=n_threads,
-                                  backend=backend)
+                                  backend=backend, quant=quant,
+                                  rerank_factor=rerank_factor)
             report = self.backend.search(flat, self.points, queries,
                                          params, entry=entries)
         elif algorithm == "song":

@@ -30,6 +30,18 @@ class SearchParams:
             ``None`` to defer to the ``REPRO_BACKEND`` environment
             variable (reference when unset).  Backends trade wall-clock
             only: results and cycle charges are identical.
+        quant: Quantized staged search — ``"fp16"``, ``"int8"`` or
+            ``"pca"`` to traverse on that compressed representation and
+            rerank the candidate pool with exact distances; ``"off"``
+            to force the exact path; ``None`` to defer to the
+            ``REPRO_QUANT`` environment variable (exact when unset).
+            **Lossy**, unlike ``backend``: recall may differ from the
+            exact search (reported distances stay exact — the rerank
+            recomputes them at full precision).
+        rerank_factor: Candidate over-fetch of the staged search: the
+            compressed traversal retains ``rerank_factor * l_n``
+            candidates for the exact rerank.  Power of two (the pool
+            stays bitonic-friendly); ignored when quantization is off.
     """
 
     k: int = 10
@@ -37,6 +49,8 @@ class SearchParams:
     e: Optional[int] = None
     n_threads: int = 32
     backend: Optional[str] = None
+    quant: Optional[str] = None
+    rerank_factor: int = 2
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -71,6 +85,19 @@ class SearchParams:
                     f"unknown execution backend {self.backend!r}; valid: "
                     f"{VALID_BACKENDS}"
                 )
+        if self.quant is not None:
+            from repro.perf.quant import VALID_QUANTS
+            if self.quant not in VALID_QUANTS:
+                raise ConfigurationError(
+                    f"unknown quantization mode {self.quant!r}; valid: "
+                    f"{VALID_QUANTS}"
+                )
+        if self.rerank_factor < 1 or not is_pow2(self.rerank_factor):
+            raise ConfigurationError(
+                f"rerank_factor must be a positive power of two (the "
+                f"staged pool stays bitonic-friendly), got "
+                f"{self.rerank_factor}"
+            )
 
     @property
     def explore_budget(self) -> int:
@@ -89,6 +116,14 @@ class SearchParams:
         on ``(quantized query, signature)``.  ``n_threads`` only shapes
         the simulated clock, never the answer, and is excluded — as is
         ``backend``, which changes wall-clock but never results.
+
+        ``quant``/``rerank_factor`` are *also* excluded, but for the
+        opposite reason: they are execution-mode knobs like ``backend``
+        yet **lossy**, so equal signatures only promise identical
+        results within one resolved quantization mode.  Serving layers
+        therefore namespace their cache keys by the resolved mode (see
+        ``ServeEngine.replay``) — a quantized hit must never answer an
+        exact request.
         """
         return ("ganns", self.k, self.l_n, self.explore_budget)
 

@@ -15,7 +15,12 @@ and per-phase cycle charges:
   active-query compaction;
 - :mod:`repro.perf.distance` — GEMM-style dtype-preserving distance
   engines with precomputed norms;
-- :mod:`repro.perf.engine` — the arena-backed GANNS search loop;
+- :mod:`repro.perf.engine` — the arena-backed GANNS search loop, plus
+  the two-stage quantized pipeline (``ganns_search_staged``);
+- :mod:`repro.perf.quant` — compressed distance tables
+  (float16 / int8 / PCA) for the staged search's first pass
+  (``SearchParams.quant`` / ``REPRO_QUANT``; **lossy**, reported as
+  such — see ``docs/quantization.md``);
 - :mod:`repro.perf.construction` — batched insert/merge kernels for
   GGraphCon;
 - :mod:`repro.perf.descent` — batched HNSW entry descent.
@@ -38,16 +43,32 @@ from repro.perf.backend import (
 )
 from repro.perf.descent import hnsw_entry_descent_batch
 from repro.perf.distance import make_distance_engine, resolve_compute_dtype
+from repro.perf.quant import (
+    QUANT_ENV_VAR,
+    QUANT_MODES,
+    QUANT_OFF,
+    VALID_QUANTS,
+    QuantizedTable,
+    quantize_points,
+    resolve_quant,
+)
 
 __all__ = [
     "BACKEND_ENV_VAR",
     "FAST",
+    "QUANT_ENV_VAR",
+    "QUANT_MODES",
+    "QUANT_OFF",
+    "QuantizedTable",
     "REFERENCE",
     "VALID_BACKENDS",
+    "VALID_QUANTS",
     "SearchArena",
     "get_arena",
     "hnsw_entry_descent_batch",
     "make_distance_engine",
+    "quantize_points",
     "resolve_backend",
     "resolve_compute_dtype",
+    "resolve_quant",
 ]

@@ -151,3 +151,41 @@ def get_arena(n_queries: int, l_n: int, l_t: int,
         arena = SearchArena(n_queries, l_n, l_t, dtype)
         _ARENA_CACHE[key] = arena
     return arena
+
+
+class RerankScratch:
+    """Candidate-pool hand-off buffers for the staged quantized search.
+
+    The compressed traversal retires each query's full ``l_q``-wide pool
+    (ids + float32 traversal distances) into these buffers, and the
+    exact rerank reads them back.  Like the arenas they are cached per
+    shape class and reused across calls — a serving replay runs
+    thousands of identically-shaped staged micro-batches, and this keeps
+    the per-batch allocation at the final ``(m, k)`` outputs only.
+    """
+
+    def __init__(self, capacity: int, l_q: int):
+        self.capacity = int(capacity)
+        self.l_q = int(l_q)
+        self.pool_ids = np.empty((self.capacity, self.l_q),
+                                 dtype=np.int64)
+        self.pool_dists = np.empty((self.capacity, self.l_q),
+                                   dtype=np.float32)
+
+
+#: One cached scratch per rerank pool width; capacity grows
+#: monotonically, exactly like the arena cache.
+_RERANK_CACHE: Dict[int, RerankScratch] = {}
+_RERANK_CACHE_MAX = 8
+
+
+def get_rerank_scratch(n_queries: int, l_q: int) -> RerankScratch:
+    """Fetch (or build) rerank buffers for ``n_queries`` x ``l_q``."""
+    key = int(l_q)
+    scratch = _RERANK_CACHE.get(key)
+    if scratch is None or scratch.capacity < n_queries:
+        if scratch is None and len(_RERANK_CACHE) >= _RERANK_CACHE_MAX:
+            _RERANK_CACHE.clear()
+        scratch = RerankScratch(n_queries, l_q)
+        _RERANK_CACHE[key] = scratch
+    return scratch

@@ -58,14 +58,13 @@ def resolve_compute_dtype(points: np.ndarray, queries: np.ndarray,
         The dtype every distance in this search is computed in.
 
     Raises:
-        SearchError: When points and queries carry *different* floating
-            dtypes (the silent-upcast trap this check replaces), or
-            when an unsupported dtype is requested.
+        SearchError: When points and queries carry *different* dtypes —
+            floating or otherwise (an int32 query matrix against a
+            float64 corpus is the same silent-upcast trap) — or when an
+            unsupported dtype is requested.
     """
     p_dtype, q_dtype = points.dtype, queries.dtype
-    if (np.issubdtype(p_dtype, np.floating)
-            and np.issubdtype(q_dtype, np.floating)
-            and p_dtype != q_dtype):
+    if p_dtype != q_dtype:
         raise SearchError(
             f"mixed-dtype search: points are {p_dtype} but queries are "
             f"{q_dtype}; cast one side explicitly (e.g. "

@@ -30,11 +30,20 @@ agree to last-ulp rounding for euclidean (GEMM norm expansion).
 NaN distances are outside the contract: the reference lexsort and this
 merge may order NaNs differently.  Finite inputs — which every dataset
 loader and generator in this repo produces — never hit that case.
+
+The traversal loop itself is engine-agnostic (:func:`_traverse`): it
+runs identically over the exact :class:`GroupDistanceEngine` and over a
+compressed :class:`repro.perf.quant.QuantizedGroupEngine`, which is how
+:func:`ganns_search_staged` implements the two-stage quantized pipeline
+— compressed traversal over a ``rerank_factor * l_n`` pool, then an
+exact full-precision rerank of that pool before top-k selection.  The
+staged path is **lossy** (see :mod:`repro.perf.quant`); only
+:func:`ganns_search_fast` carries the byte-equivalence contract.
 """
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Tuple, Union
 
 import numpy as np
 
@@ -44,8 +53,10 @@ from repro.errors import SearchError
 from repro.graphs.adjacency import ProximityGraph
 from repro.gpusim.costs import CostTable
 from repro.gpusim.memory import SharedMemoryBudget
-from repro.perf.arena import get_arena
+from repro.perf.arena import get_arena, get_rerank_scratch
 from repro.perf.distance import make_distance_engine
+from repro.perf.quant import QuantizedGroupEngine, charged_dims, \
+    quantize_points
 
 #: Mirrors repro.core.ganns._MAX_ITERATION_FACTOR — the two backends
 #: must give up (and raise) at exactly the same point.
@@ -60,34 +71,39 @@ _MAX_ITERATION_FACTOR = 64
 _STEP_MERGE_MIN_ROWS = 128
 
 
-def ganns_search_fast(graph: ProximityGraph, points: np.ndarray,
-                      queries: np.ndarray, params: SearchParams,
-                      entries: np.ndarray,
-                      costs: CostTable,
-                      lazy_check: bool,
-                      compute_dtype: np.dtype) -> SearchReport:
-    """Run the batched GANNS search on the fast backend.
+def _traverse(graph: ProximityGraph, engine, arena, tracker,
+              costs: CostTable, *, l_pool: int, e_budget: int, n_t: int,
+              out_width: int, dist_dims: int, entries: np.ndarray,
+              lazy_check: bool, out_ids: np.ndarray,
+              out_dists: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Run the six-phase GANNS loop over ``engine`` until every query
+    retires.
 
-    Called by :func:`repro.core.ganns.ganns_search` after argument
-    validation; ``entries`` is the already-broadcast ``(m,)`` entry-id
-    array and ``compute_dtype`` the resolved distance dtype.
+    Engine-agnostic core shared by the exact fast path and the staged
+    quantized path.  The pool is ``l_pool`` wide but only the first
+    ``e_budget`` slots are candidates for exploration — the staged
+    search widens the pool (candidate over-fetch) without widening the
+    explore window, so its iteration count tracks the exact search's.
+
+    Args:
+        engine: Any object with the ``pairs(query_rows, cand_ids)``
+            distance contract (negative ids clip to row 0; callers
+            overwrite those lanes).
+        l_pool: Pool width (``l_n``, or ``rerank_factor * l_n`` for the
+            staged path).
+        dist_dims: Dimensions charged to the cost model per distance
+            (the ambient ``d`` for exact engines; the compressed
+            component count for quantized ones).
+        out_width: Columns scattered to ``out_ids``/``out_dists`` when
+            a query retires (``k``, or the whole pool for the staged
+            path's rerank input).
+
+    Returns:
+        ``(iterations, n_distance_computations)``.
     """
-    n_queries = len(queries)
-    n_dims = points.shape[1]
-    l_n = params.l_n
+    n_queries = len(out_ids)
     l_t = graph.d_max
-    e_budget = min(params.explore_budget, l_n)
-    n_t = params.n_threads
-    k = params.k
-
-    tracker = make_search_tracker(n_queries, "ganns")
-    engine = make_distance_engine(graph.metric_name, points, queries,
-                                  compute_dtype)
-    arena = get_arena(n_queries, l_n, l_t, compute_dtype)
     m = arena.reset(n_queries)
-
-    out_ids = np.empty((n_queries, k), dtype=np.int64)
-    out_dists = np.empty((n_queries, k), dtype=compute_dtype)
 
     # Initialisation: load the entry vertex into N.
     entry_dists = engine.pairs(arena.rows[:m], entries[:, None])[:, 0]
@@ -95,19 +111,19 @@ def ganns_search_fast(graph: ProximityGraph, points: np.ndarray,
     arena.pool_ids[:m, 0] = entries
     arena.pool_explored[:m, 0] = False
     tracker.charge("bulk_distance",
-                   costs.single_distance_cycles(n_dims, n_t))
+                   costs.single_distance_cycles(dist_dims, n_t))
     n_distance_computations = n_queries
 
-    locate_cost = costs.ganns_candidate_locate_cycles(l_n, n_t)
+    locate_cost = costs.ganns_candidate_locate_cycles(l_pool, n_t)
     explore_cost = costs.ganns_explore_cycles(l_t, n_t)
-    check_cost = costs.ganns_lazy_check_cycles(l_n, l_t, n_t)
+    check_cost = costs.ganns_lazy_check_cycles(l_pool, l_t, n_t)
     sort_cost = costs.ganns_sort_cycles(l_t, n_t)
-    merge_cost = costs.ganns_merge_cycles(l_n, l_t, n_t)
-    per_vector_cost = costs.single_distance_cycles(n_dims, n_t)
+    merge_cost = costs.ganns_merge_cycles(l_pool, l_t, n_t)
+    per_vector_cost = costs.single_distance_cycles(dist_dims, n_t)
 
     iterations = np.zeros(n_queries, dtype=np.int64)
     max_iterations = _MAX_ITERATION_FACTOR * e_budget + 256
-    col_a = np.arange(l_n, dtype=np.int64)
+    col_a = np.arange(l_pool, dtype=np.int64)
     col_b = np.arange(l_t, dtype=np.int64)
     # Row keys for the flat duplicate probe: id ranges per row must not
     # overlap; ids live in [-1, n_vertices - 1] so a stride of
@@ -126,8 +142,8 @@ def ganns_search_fast(graph: ProximityGraph, points: np.ndarray,
         if not has_work.all():
             done = np.flatnonzero(~has_work)
             done_queries = arena.query_rows[done]
-            out_ids[done_queries] = arena.pool_ids[done, :k]
-            out_dists[done_queries] = arena.pool_dists[done, :k]
+            out_ids[done_queries] = arena.pool_ids[done, :out_width]
+            out_dists[done_queries] = arena.pool_dists[done, :out_width]
             m = arena.compact(m, has_work)
             if m == 0:
                 break
@@ -176,6 +192,62 @@ def ganns_search_fast(graph: ProximityGraph, points: np.ndarray,
             dead = ~valid
         t_dists[dead] = np.inf
         t_ids[dead] = -1
+
+        # Phases 5+6 fast-outs.  Rows whose T is entirely invalidated
+        # merge nothing: every T record is a (+inf, -1) pad, which loses
+        # to the pool's own padding under the tie rule, so sorting and
+        # merging them is the identity on the pool.  The cycle charges
+        # are still issued with the full lane sets (the simulated kernel
+        # runs the network regardless); only the host-side work is
+        # skipped.  In converged iterations T is mostly duplicates, so
+        # these paths carry the long tail of the search.
+        row_live = ~dead.all(axis=1)
+        n_live = int(np.count_nonzero(row_live))
+        if n_live == 0:
+            tracker.charge("sorting", sort_cost, act)
+            tracker.charge("candidate_update", merge_cost, act)
+            continue
+        if n_live < min(m, _STEP_MERGE_MIN_ROWS):
+            # Few live rows: sort and rank-merge just those, scattering
+            # the merged pools back in place (no buffer swap, so the
+            # untouched rows stay valid).  Same rank arithmetic as the
+            # narrow-batch merge below — a bijection onto the merged
+            # positions, pool wins ties.
+            sub = np.flatnonzero(row_live)
+            t_d = t_dists[sub]
+            t_i = t_ids[sub]
+            tracker.charge("sorting", sort_cost, act)
+            order = np.lexsort((t_i, t_d), axis=1)
+            t_d = np.take_along_axis(t_d, order, axis=1)
+            t_i = np.take_along_axis(t_i, order, axis=1)
+            tracker.charge("candidate_update", merge_cost, act)
+            a_dist = arena.pool_dists[sub]
+            a_id = arena.pool_ids[sub]
+            a_exp = arena.pool_explored[sub]
+            b_before_a = ((t_d[:, None, :] < a_dist[:, :, None])
+                          | ((t_d[:, None, :] == a_dist[:, :, None])
+                             & (t_i[:, None, :] < a_id[:, :, None])))
+            a_rank = col_a + b_before_a.sum(axis=2)
+            b_rank = col_b + l_pool - b_before_a.sum(axis=1)
+            keep_a = a_rank < l_pool
+            keep_b = b_rank < l_pool
+            merged_d = np.empty_like(a_dist)
+            merged_i = np.empty_like(a_id)
+            merged_e = np.empty_like(a_exp)
+            srow = np.broadcast_to(
+                np.arange(n_live, dtype=np.int64)[:, None], keep_a.shape)
+            merged_d[srow[keep_a], a_rank[keep_a]] = a_dist[keep_a]
+            merged_i[srow[keep_a], a_rank[keep_a]] = a_id[keep_a]
+            merged_e[srow[keep_a], a_rank[keep_a]] = a_exp[keep_a]
+            srow_b = np.broadcast_to(
+                np.arange(n_live, dtype=np.int64)[:, None], keep_b.shape)
+            merged_d[srow_b[keep_b], b_rank[keep_b]] = t_d[keep_b]
+            merged_i[srow_b[keep_b], b_rank[keep_b]] = t_i[keep_b]
+            merged_e[srow_b[keep_b], b_rank[keep_b]] = t_i[keep_b] < 0
+            arena.pool_dists[sub] = merged_d
+            arena.pool_ids[sub] = merged_i
+            arena.pool_explored[sub] = merged_e
+            continue
 
         # Phase 5 — sort T by (distance, id).  Records with equal keys
         # are identical (+inf, -1) pads, so any (dist, id) sort yields
@@ -226,8 +298,8 @@ def ganns_search_fast(graph: ProximityGraph, points: np.ndarray,
             tmp_d = arena.out_dists
             tmp_i = arena.out_ids
             tmp_e = arena.out_explored
-            filled = l_n
-            for out_slot in range(l_n):
+            filled = l_pool
+            for out_slot in range(l_pool):
                 a_dist = pd_flat.take(fa)
                 a_id = pi_flat.take(fa)
                 b_dist = td_flat.take(fb)
@@ -247,8 +319,8 @@ def ganns_search_fast(graph: ProximityGraph, points: np.ndarray,
                 # are sorted, ties go to the pool) — one bulk gather
                 # finishes the merge.  In converged iterations T is
                 # mostly duplicates, so this fires almost immediately.
-                if (out_slot & 3) == 3 and out_slot + 1 < l_n:
-                    rem = l_n - 1 - out_slot
+                if (out_slot & 3) == 3 and out_slot + 1 < l_pool:
+                    rem = l_pool - 1 - out_slot
                     tail = fa + (rem - 1)
                     a_dist = pd_flat.take(tail)
                     a_id = pi_flat.take(tail)
@@ -279,9 +351,9 @@ def ganns_search_fast(graph: ProximityGraph, points: np.ndarray,
                              & (t_ids_sorted[:, None, :]
                                 < a_id[:, :, None])))
             a_rank = col_a + b_before_a.sum(axis=2)
-            b_rank = col_b + l_n - b_before_a.sum(axis=1)
-            keep_a = a_rank < l_n
-            keep_b = b_rank < l_n
+            b_rank = col_b + l_pool - b_before_a.sum(axis=1)
+            keep_a = a_rank < l_pool
+            keep_b = b_rank < l_pool
             mrows = np.broadcast_to(arena.rows[:m, None], keep_a.shape)
             alt_d, alt_i = arena.alt_dists, arena.alt_ids
             alt_e = arena.alt_explored
@@ -296,10 +368,135 @@ def ganns_search_fast(graph: ProximityGraph, points: np.ndarray,
             alt_e[mrows_b[keep_b], b_rank[keep_b]] = t_explored[keep_b]
             arena.swap_pools()
 
+    return iterations, n_distance_computations
+
+
+def ganns_search_fast(graph: ProximityGraph, points: np.ndarray,
+                      queries: np.ndarray, params: SearchParams,
+                      entries: np.ndarray,
+                      costs: CostTable,
+                      lazy_check: bool,
+                      compute_dtype: np.dtype) -> SearchReport:
+    """Run the batched GANNS search on the fast backend.
+
+    Called by :func:`repro.core.ganns.ganns_search` after argument
+    validation; ``entries`` is the already-broadcast ``(m,)`` entry-id
+    array and ``compute_dtype`` the resolved distance dtype.
+    """
+    n_queries = len(queries)
+    l_n = params.l_n
+    l_t = graph.d_max
+    e_budget = min(params.explore_budget, l_n)
+    n_t = params.n_threads
+    k = params.k
+
+    tracker = make_search_tracker(n_queries, "ganns")
+    engine = make_distance_engine(graph.metric_name, points, queries,
+                                  compute_dtype)
+    arena = get_arena(n_queries, l_n, l_t, compute_dtype)
+
+    out_ids = np.empty((n_queries, k), dtype=np.int64)
+    out_dists = np.empty((n_queries, k), dtype=compute_dtype)
+
+    iterations, n_distance_computations = _traverse(
+        graph, engine, arena, tracker, costs,
+        l_pool=l_n, e_budget=e_budget, n_t=n_t, out_width=k,
+        dist_dims=points.shape[1], entries=entries,
+        lazy_check=lazy_check, out_ids=out_ids, out_dists=out_dists)
+
     shared_mem = SharedMemoryBudget(l_n=l_n, l_t=l_t).total_bytes()
     return SearchReport(
         algorithm="ganns",
         ids=out_ids,
+        dists=out_dists,
+        tracker=tracker,
+        n_threads=n_t,
+        shared_mem_bytes=shared_mem,
+        iterations=iterations,
+        n_distance_computations=n_distance_computations,
+    )
+
+
+#: Traversal distances of the staged path always accumulate in float32:
+#: the compressed representations carry at most float32 precision, and
+#: the exact rerank restores the caller's compute dtype afterwards.
+_STAGED_TRAVERSAL_DTYPE = np.dtype(np.float32)
+
+
+def ganns_search_staged(graph: ProximityGraph, points: np.ndarray,
+                        queries: np.ndarray, params: SearchParams,
+                        entries: np.ndarray,
+                        costs: CostTable,
+                        lazy_check: bool,
+                        compute_dtype: np.dtype,
+                        quant_mode: str) -> SearchReport:
+    """Two-stage quantized search: compressed traversal + exact rerank.
+
+    Stage 1 runs the ordinary six-phase traversal, but over a
+    :class:`~repro.perf.quant.QuantizedGroupEngine` and with the pool
+    widened to ``l_q = rerank_factor * l_n`` — the explore window stays
+    at the exact search's ``e`` budget, so the wider pool is pure
+    candidate over-fetch, not extra hops.  Stage 2 recomputes exact
+    full-precision distances for the whole retained pool and selects the
+    final top-k from those, charged as one bulk-distance pass plus one
+    bitonic sort of ``l_q`` records.
+
+    The result is **lossy** relative to the reference search: the
+    compressed traversal can walk a different path, so the candidate
+    pool (and hence recall) may differ.  Returned *distances* are always
+    exact — stage 2 guarantees every reported (id, dist) pair is the
+    true metric value in ``compute_dtype``.
+    """
+    n_queries = len(queries)
+    n_dims = points.shape[1]
+    l_n = params.l_n
+    l_t = graph.d_max
+    l_q = l_n * params.rerank_factor
+    e_budget = min(params.explore_budget, l_n)
+    n_t = params.n_threads
+    k = params.k
+
+    tracker = make_search_tracker(n_queries, "ganns")
+    table = quantize_points(points, quant_mode, graph.metric_name)
+    engine = QuantizedGroupEngine(table, queries)
+    arena = get_arena(n_queries, l_q, l_t, _STAGED_TRAVERSAL_DTYPE)
+    scratch = get_rerank_scratch(n_queries, l_q)
+    pool_ids = scratch.pool_ids[:n_queries]
+    pool_dists = scratch.pool_dists[:n_queries]
+
+    iterations, n_distance_computations = _traverse(
+        graph, engine, arena, tracker, costs,
+        l_pool=l_q, e_budget=e_budget, n_t=n_t, out_width=l_q,
+        dist_dims=charged_dims(table), entries=entries,
+        lazy_check=lazy_check, out_ids=pool_ids, out_dists=pool_dists)
+
+    # Stage 2 — exact rerank of the over-fetched pool.  One
+    # full-precision bulk-distance pass over every valid candidate
+    # (invalid pads clip to point 0 in the engine and are masked to
+    # +inf), then a (dist, id) sort of the l_q records per query —
+    # charged as one bitonic sort, the kernel that would run it.
+    exact = make_distance_engine(graph.metric_name, points, queries,
+                                 compute_dtype)
+    all_rows = np.arange(n_queries, dtype=np.int64)
+    valid = pool_ids >= 0
+    exact_dists = exact.pairs(all_rows, pool_ids)
+    exact_dists[~valid] = np.inf
+    per_vector_cost = costs.single_distance_cycles(n_dims, n_t)
+    tracker.charge("bulk_distance",
+                   valid.sum(axis=1) * per_vector_cost, all_rows)
+    n_distance_computations += int(valid.sum())
+    tracker.charge("sorting", costs.bitonic_sort_cycles(l_q, n_t),
+                   all_rows)
+    order = np.lexsort((pool_ids, exact_dists), axis=1)[:, :k]
+    out_ids = np.take_along_axis(pool_ids, order, axis=1)
+    out_dists = np.ascontiguousarray(
+        np.take_along_axis(exact_dists, order, axis=1),
+        dtype=compute_dtype)
+
+    shared_mem = SharedMemoryBudget(l_n=l_q, l_t=l_t).total_bytes()
+    return SearchReport(
+        algorithm="ganns",
+        ids=np.ascontiguousarray(out_ids),
         dists=out_dists,
         tracker=tracker,
         n_threads=n_t,

@@ -1,0 +1,434 @@
+"""Quantized distance tables for the staged (compressed-first) search.
+
+The GANNS kernels are distance-bound: at d=256 the per-iteration GEMM
+over full-precision vectors dominates the wall clock, and the full
+point matrix is the one buffer that may not fit device memory.  This
+module supplies the *compressed traversal* half of the staged pipeline
+(PilotANN's memory-bounded pattern, CAGRA's refinement step): the graph
+walk runs over a reduced representation of the corpus, then
+:func:`repro.perf.engine.ganns_search_staged` reranks the over-fetched
+candidate pool with exact full-precision distances.
+
+Three representations, selected by ``SearchParams(quant=...)`` or the
+``REPRO_QUANT`` environment variable:
+
+- ``"fp16"`` — float16 storage (2 bytes/component).  Distances are
+  accumulated in float32; the representation error is the half-float
+  rounding of each component.
+- ``"int8"`` — per-dimension affine quantization (1 byte/component plus
+  two float32 per *dimension*): ``x_hat = scale * code + beta``.  The
+  per-dimension scales fold into the query once per batch, so the
+  per-iteration work is one int8 gather plus one float32 GEMM — the
+  traversal never dequantizes the table.
+- ``"pca"`` — PCA-reduced float32 (``pca_rank(d)`` components,
+  4 bytes each).  This is the raw-speed lever: the traversal GEMM
+  shrinks by ``d / rank``, which is how the staged pipeline clears the
+  4x wall-clock target on the d=256 workload.
+
+**Honesty contract**: all three are lossy.  Unlike ``backend="fast"``
+(byte-identical results), a quantized traversal can rank candidates
+differently from the exact kernel, so the staged pipeline must rerank
+and the harnesses must report recall deltas (``bench_wallclock.py``
+``recall_delta`` columns, the conformance suite's per-family
+``quant_recall_delta`` floors).  The serving layers namespace their
+result caches by quant mode so a lossy hit can never answer an exact
+request.
+
+Tables are cached per ``(points identity, mode, metric)`` with weakref
+guards — the serving engine dispatches thousands of micro-batches
+against one immutable corpus, and quantization (one pass over the
+matrix; one thin SVD for PCA) is paid once, not per batch.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SearchError
+
+#: Environment variable consulted when ``SearchParams.quant`` is None.
+QUANT_ENV_VAR = "REPRO_QUANT"
+
+#: The lossy representations the staged pipeline can traverse on.
+QUANT_MODES = ("fp16", "int8", "pca")
+
+#: Explicit opt-out: forces the exact path even when the environment
+#: variable requests quantization.
+QUANT_OFF = "off"
+
+VALID_QUANTS = QUANT_MODES + (QUANT_OFF,)
+
+
+def resolve_quant(explicit: Optional[str] = None) -> Optional[str]:
+    """Resolve the quantization mode to traverse with.
+
+    Args:
+        explicit: ``SearchParams.quant`` — a mode name, ``"off"`` to
+            force the exact path, or ``None`` to defer to the
+            ``REPRO_QUANT`` environment variable.
+
+    Returns:
+        A mode from :data:`QUANT_MODES`, or ``None`` for exact search.
+
+    Raises:
+        ConfigurationError: On an unknown mode name, whether it came
+            from code or from the environment.
+    """
+    if explicit is not None:
+        if explicit == QUANT_OFF:
+            return None
+        if explicit not in QUANT_MODES:
+            raise ConfigurationError(
+                f"unknown quantization mode {explicit!r}; valid: "
+                f"{VALID_QUANTS}"
+            )
+        return explicit
+    env = os.environ.get(QUANT_ENV_VAR)
+    if env is None or env == "" or env == QUANT_OFF:
+        return None
+    if env not in QUANT_MODES:
+        raise ConfigurationError(
+            f"{QUANT_ENV_VAR}={env!r} is not a valid quantization mode; "
+            f"valid: {VALID_QUANTS}"
+        )
+    return env
+
+
+#: Stored bits per retained component, by mode (PCA keeps float32
+#: components — its saving is rank reduction, not narrower words).
+QUANT_BITS = {"fp16": 16, "int8": 8, "pca": 32}
+
+
+def pca_rank(n_dims: int) -> int:
+    """Retained components for ``mode="pca"``: ``max(16, d // 8)``.
+
+    Every synthetic generator (and the descriptor datasets they stand in
+    for) concentrates near a low-dimensional manifold, so an 8x ambient
+    reduction keeps the neighborhood structure the traversal needs; the
+    16-component floor stops tiny-d corpora from degenerating.  Capped
+    at ``d`` — below 16 ambient dimensions PCA is a rotation, not a
+    reduction, and only exercises the pipeline.
+    """
+    return min(int(n_dims), max(16, int(n_dims) // 8))
+
+
+def _unit_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-normalise (zero rows pass through) — the reference formula."""
+    norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+    return matrix / np.where(norms > 0.0, norms, 1.0)
+
+
+class QuantizedTable:
+    """One corpus in one compressed representation.
+
+    Built by :func:`quantize_points`; consumed by
+    :class:`QuantizedGroupEngine` (traversal distances) and by the
+    footprint reporters (``bytes_per_vector`` columns in the bake-off
+    and wall-clock harnesses).
+
+    Attributes:
+        mode: ``"fp16"``, ``"int8"`` or ``"pca"``.
+        metric_name: Metric the table was prepared for (cosine tables
+            store normalised rows).
+        codes: The stored matrix — ``(n, d)`` float16/int8, or
+            ``(n, rank)`` float32 for PCA.
+        code_norms: ``(n,)`` float32 squared norms of the represented
+            vectors (euclidean only; ``None`` otherwise).
+        scales / betas: int8 affine parameters (``x_hat = scale * code
+            + beta``); ``None`` for other modes.
+        mean / components: PCA centering vector and ``(d, rank)``
+            projection; ``mean`` is ``None`` for inner-product metrics
+            (centering would shift the products).
+    """
+
+    __slots__ = ("mode", "metric_name", "n_points", "n_dims", "codes",
+                 "code_norms", "scales", "betas", "mean", "components")
+
+    def __init__(self, mode: str, metric_name: str, n_points: int,
+                 n_dims: int, codes: np.ndarray,
+                 code_norms: Optional[np.ndarray] = None,
+                 scales: Optional[np.ndarray] = None,
+                 betas: Optional[np.ndarray] = None,
+                 mean: Optional[np.ndarray] = None,
+                 components: Optional[np.ndarray] = None):
+        self.mode = mode
+        self.metric_name = metric_name
+        self.n_points = int(n_points)
+        self.n_dims = int(n_dims)
+        self.codes = codes
+        self.code_norms = code_norms
+        self.scales = scales
+        self.betas = betas
+        self.mean = mean
+        self.components = components
+
+    # ------------------------------------------------------------------
+    # Footprint accounting (the corpus-doesn't-fit scenario)
+    # ------------------------------------------------------------------
+
+    @property
+    def bits_per_component(self) -> int:
+        """Stored bits per retained component (32 for PCA float32)."""
+        return int(self.codes.dtype.itemsize) * 8
+
+    @property
+    def rank(self) -> int:
+        """Retained components per vector (``d`` for fp16/int8)."""
+        return int(self.codes.shape[1])
+
+    def bytes_per_vector(self) -> float:
+        """Device bytes per corpus vector, side tables amortised in.
+
+        int8 carries two float32 per *dimension* (scale, beta) shared by
+        every vector; euclidean tables carry one float32 norm per
+        vector.  Both are charged here so the footprint columns are
+        honest about the whole resident representation.
+        """
+        per_vector = self.codes.shape[1] * self.codes.dtype.itemsize
+        if self.code_norms is not None:
+            per_vector += self.code_norms.dtype.itemsize
+        shared = 0
+        for side in (self.scales, self.betas, self.mean, self.components):
+            if side is not None:
+                shared += side.nbytes
+        return float(per_vector) + shared / max(self.n_points, 1)
+
+    def memory_bytes(self) -> int:
+        """Total device bytes of this representation."""
+        return int(round(self.bytes_per_vector() * self.n_points))
+
+    # ------------------------------------------------------------------
+    # Reconstruction (property tests pin the round-trip error bound)
+    # ------------------------------------------------------------------
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the represented vectors as float32.
+
+        fp16/int8 reconstruct in the ambient space (the round-trip
+        error bound of the property suite); PCA back-projects through
+        its components, which only recovers the retained subspace.
+        """
+        if self.mode == "fp16":
+            return self.codes.astype(np.float32)
+        if self.mode == "int8":
+            return (self.codes.astype(np.float32) * self.scales
+                    + self.betas)
+        back = self.codes @ self.components.T
+        if self.mean is not None:
+            back = back + self.mean
+        return back.astype(np.float32, copy=False)
+
+
+def _prepare_source(points: np.ndarray, metric_name: str) -> np.ndarray:
+    """The float32 matrix a table represents (cosine pre-normalises)."""
+    if metric_name not in ("euclidean", "cosine", "ip"):
+        raise SearchError(
+            f"unsupported metric for quantized search: {metric_name!r}"
+        )
+    source = np.ascontiguousarray(points, dtype=np.float32)
+    if metric_name == "cosine":
+        source = _unit_rows(source)
+    return source
+
+
+def _build_table(points: np.ndarray, mode: str,
+                 metric_name: str) -> QuantizedTable:
+    source = _prepare_source(points, metric_name)
+    n, d = source.shape
+
+    if mode == "fp16":
+        codes = source.astype(np.float16)
+        represented = codes.astype(np.float32)
+        norms = (np.einsum("nd,nd->n", represented, represented)
+                 if metric_name == "euclidean" else None)
+        return QuantizedTable(mode, metric_name, n, d, codes,
+                              code_norms=norms)
+
+    if mode == "int8":
+        lo = source.min(axis=0)
+        hi = source.max(axis=0)
+        span = hi - lo
+        # Constant dimensions quantize to code 0 with beta carrying the
+        # value; a unit scale keeps the affine map invertible.
+        scales = np.where(span > 0.0, span / 255.0, 1.0).astype(np.float32)
+        codes = np.clip(np.rint((source - lo) / scales) - 128.0,
+                        -128, 127).astype(np.int8)
+        betas = (lo + 128.0 * scales).astype(np.float32)
+        represented = codes.astype(np.float32) * scales + betas
+        norms = (np.einsum("nd,nd->n", represented, represented)
+                 if metric_name == "euclidean" else None)
+        return QuantizedTable(mode, metric_name, n, d, codes,
+                              code_norms=norms, scales=scales,
+                              betas=betas)
+
+    if mode == "pca":
+        rank = min(pca_rank(d), n)
+        # Centering is distance-preserving for euclidean but shifts
+        # inner products, so cosine/ip project the raw (normalised)
+        # rows.
+        mean = (source.mean(axis=0, dtype=np.float64).astype(np.float32)
+                if metric_name == "euclidean" else None)
+        centered = source - mean if mean is not None else source
+        # Thin SVD of the (possibly centered) corpus; the top right
+        # singular vectors are the PCA basis.  Deterministic for a
+        # given input matrix, which the byte-determinism gate relies
+        # on.
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        components = np.ascontiguousarray(vt[:rank].T, dtype=np.float32)
+        codes = np.ascontiguousarray(centered @ components)
+        norms = (np.einsum("nr,nr->n", codes, codes)
+                 if metric_name == "euclidean" else None)
+        return QuantizedTable(mode, metric_name, n, d, codes,
+                              code_norms=norms, mean=mean,
+                              components=components)
+
+    raise ConfigurationError(
+        f"unknown quantization mode {mode!r}; valid: {VALID_QUANTS}"
+    )
+
+
+#: ``id(points) -> (weakref to points, {(mode, metric): table})`` — the
+#: same identity-keyed weakref pattern as the prepared-points cache in
+#: :mod:`repro.perf.distance`.
+_TABLE_CACHE: dict = {}
+_TABLE_CACHE_MAX = 8
+
+
+def quantize_points(points: np.ndarray, mode: str,
+                    metric_name: str = "euclidean") -> QuantizedTable:
+    """Build (or fetch the cached) quantized table for one corpus.
+
+    Args:
+        points: ``(n, d)`` data matrix.
+        mode: A mode from :data:`QUANT_MODES`.
+        metric_name: ``"euclidean"``, ``"cosine"`` or ``"ip"``.
+
+    Returns:
+        The corpus's :class:`QuantizedTable` in that representation.
+    """
+    points = np.asarray(points)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise SearchError(
+            f"points must be a non-empty 2-D matrix, got shape "
+            f"{points.shape}"
+        )
+    key = id(points)
+    entry = _TABLE_CACHE.get(key)
+    if entry is not None:
+        ref, by_variant = entry
+        if ref() is points:
+            table = by_variant.get((mode, metric_name))
+            if table is not None:
+                return table
+        else:
+            del _TABLE_CACHE[key]
+
+    table = _build_table(points, mode, metric_name)
+
+    try:
+        ref = weakref.ref(points)
+    except TypeError:
+        return table  # non-weakrefable view: just skip the cache
+    entry = _TABLE_CACHE.get(key)
+    if entry is None or entry[0]() is not points:
+        if len(_TABLE_CACHE) >= _TABLE_CACHE_MAX:
+            _TABLE_CACHE.clear()
+        _TABLE_CACHE[key] = (ref, {})
+    _TABLE_CACHE[key][1][(mode, metric_name)] = table
+    return table
+
+
+class QuantizedGroupEngine:
+    """Compressed-space drop-in for :class:`GroupDistanceEngine`.
+
+    Same ``pairs(query_rows, cand_ids)`` interface as the exact engine,
+    so the traversal loop in :mod:`repro.perf.engine` runs unchanged —
+    only the arithmetic differs:
+
+    - fp16: gather half floats, accumulate the GEMM in float32;
+    - int8: the affine map folds into the query (``scales * q`` once
+      per batch), so the hot path is an int8 gather plus one float32
+      einsum — codes are never dequantized;
+    - pca: queries project into the retained subspace once, then the
+      traversal is the ordinary norm-expansion GEMM at the reduced
+      rank.
+
+    All distances return float32 (the staged pipeline's traversal
+    dtype); exactness is restored by the full-precision rerank, never
+    here.
+    """
+
+    def __init__(self, table: QuantizedTable, queries: np.ndarray):
+        self.table = table
+        self.metric_name = table.metric_name
+        queries = np.ascontiguousarray(queries, dtype=np.float32)
+        if table.metric_name == "cosine":
+            queries = _unit_rows(queries)
+
+        if table.mode == "int8":
+            # Fold the per-dimension affine map into the query:
+            # x_hat . q = (scales * q) . code + betas . q.
+            self.queries = queries * table.scales
+            self.query_bias = queries @ table.betas
+        elif table.mode == "pca":
+            projected = queries - table.mean if table.mean is not None \
+                else queries
+            self.queries = np.ascontiguousarray(
+                projected @ table.components)
+            self.query_bias = None
+        else:  # fp16
+            self.queries = queries
+            self.query_bias = None
+
+        if table.metric_name == "euclidean":
+            self.query_norms = np.einsum("mr,mr->m", self.queries,
+                                         self.queries)
+            if table.mode == "int8":
+                # ||q||^2 must be in the *ambient* space (the folded
+                # queries are scaled); recompute from the raw rows.
+                self.query_norms = np.einsum("md,md->m", queries, queries)
+        else:
+            self.query_norms = None
+
+    def pairs(self, query_rows: np.ndarray,
+              cand_ids: np.ndarray) -> np.ndarray:
+        """Compressed-space distances, same contract as the exact engine.
+
+        Negative candidate ids clip to row 0; callers overwrite those
+        lanes with ``inf`` afterwards, exactly as the exact path does.
+        """
+        table = self.table
+        gathered = np.take(table.codes, cand_ids, axis=0, mode="clip")
+        if gathered.dtype != np.float32:
+            gathered = gathered.astype(np.float32)
+        qs = self.queries[query_rows]
+        sims = np.einsum("mtr,mr->mt", gathered, qs)
+        if self.query_bias is not None:
+            sims = sims + self.query_bias[query_rows, None]
+        if self.metric_name == "euclidean":
+            return (np.take(table.code_norms, cand_ids, mode="clip")
+                    - 2.0 * sims + self.query_norms[query_rows, None])
+        if self.metric_name == "cosine":
+            return np.float32(1.0) - sims
+        return -sims
+
+
+def charged_dims(table: QuantizedTable) -> int:
+    """Dimensions to charge the cost model per traversal distance.
+
+    The simulated kernel prices a distance by its float32 component
+    count; compressed representations process more components per cycle
+    (half2 math for fp16, DP4A-style int8 lanes) or simply fewer of
+    them (PCA).  Lossy traversal makes no charge-equivalence promise —
+    this is the staged pipeline's own cost model, reconciled end to end
+    by the zero-drift checks but *different* from the exact kernel's.
+    """
+    if table.mode == "fp16":
+        return max(1, (table.n_dims + 1) // 2)
+    if table.mode == "int8":
+        return max(1, (table.n_dims + 3) // 4)
+    return table.rank

@@ -75,6 +75,7 @@ from repro.observability.metrics import (
 )
 from repro.observability.span import SpanTracer
 from repro.perf.backend import resolve_backend
+from repro.perf.quant import QUANT_BITS, resolve_quant
 from repro.serve.cache import ResultCache
 from repro.serve.report import ServeReport
 from repro.serve.request import QueryRequest, RequestOutcome, RequestStatus
@@ -312,7 +313,18 @@ class ServeEngine:
         """
         wall_start = time.perf_counter()
         trace = list(trace)
+        quant_mode = resolve_quant(self.params.quant)
+        rerank_pool = self.params.rerank_factor * self.params.l_n
+        # Quantized serving is lossy, so its results live in their own
+        # cache namespace: the signature gains a quant component and a
+        # compressed-traversal hit can never answer an exact request
+        # (or a request under a different mode / rerank factor).
         signature = (self.family,) + self.params.signature()
+        if quant_mode is not None:
+            signature = ((self.family,
+                          f"quant:{quant_mode}:rf"
+                          f"{self.params.rerank_factor}")
+                         + self.params.signature())
         backend_name = resolve_backend(self.params.backend)
         scheduler = MicroBatchScheduler(self.policy)
         clock = _EngineClock()
@@ -334,6 +346,12 @@ class ServeEngine:
                                         DEFAULT_LATENCY_BUCKETS)
         size_hist = registry.histogram("serve.batch_size",
                                        DEFAULT_SIZE_BUCKETS)
+        # Quant metrics exist only when the replay actually runs the
+        # staged pipeline — an exact replay publishes nothing under
+        # ``quant.*``, so committed golden traces are quant-silent.
+        rerank_hist = (registry.histogram("quant.rerank_pool_size",
+                                          DEFAULT_SIZE_BUCKETS)
+                       if quant_mode is not None else None)
         outcomes: List[Optional[RequestOutcome]] = [None] * len(trace)
         positions = {}
         for pos, req in enumerate(trace):
@@ -411,6 +429,9 @@ class ServeEngine:
             registry.counter(f"serve.batches.{batch.trigger}").inc()
             registry.counter("serve.queries_dispatched").inc(n_queries)
             size_hist.observe(n_queries)
+            if rerank_hist is not None:
+                registry.counter("quant.batches").inc()
+                rerank_hist.observe(rerank_pool)
 
         def attempt_spans(batch_span, ready: float, attempt: int,
                           slots: EngineSlots, end: float,
@@ -608,6 +629,11 @@ class ServeEngine:
                 cycle_attrs["cycles_total"] = \
                     kernel_tracker.total_cycles()
                 cycle_attrs["kernel.backend"] = backend_name
+                if quant_mode is not None:
+                    cycle_attrs["quant.mode"] = quant_mode
+                    cycle_attrs["quant.bits"] = QUANT_BITS[quant_mode]
+                    cycle_attrs["quant.rerank"] = \
+                        self.params.rerank_factor
                 tracer.spans[compute_span].attributes.update(
                     cycle_attrs)
                 for event in consumed:
@@ -737,6 +763,7 @@ class ServeEngine:
             metrics=registry,
             wallclock_seconds=wallclock,
             backend=backend_name,
+            quant=quant_mode,
         )
 
     def _cache_lookup(self, req: QueryRequest, signature: tuple

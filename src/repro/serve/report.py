@@ -68,6 +68,11 @@ class ServeReport:
             ``perf.wallclock_seconds`` gauge.
         backend: Resolved execution backend (``"reference"`` or
             ``"fast"``) the replay dispatched with.
+        quant: Resolved quantization mode the replay dispatched with
+            (``"fp16"``/``"int8"``/``"pca"``), or ``None`` for exact
+            serving.  Quantized serving is **lossy** — results under a
+            mode live in their own cache namespace and may differ from
+            exact serving (see ``docs/quantization.md``).
     """
 
     outcomes: List[RequestOutcome]
@@ -80,6 +85,7 @@ class ServeReport:
     metrics: Optional[object] = None
     wallclock_seconds: float = 0.0
     backend: str = "reference"
+    quant: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Populations
@@ -276,6 +282,9 @@ class ServeReport:
             # volatile perf.wallclock_seconds gauge instead.
             f"  backend       {self.backend}",
         ]
+        if self.quant is not None:
+            lines.append(f"  quant         {self.quant} (lossy staged "
+                         f"search; exact rerank of the candidate pool)")
         if (self.n_degraded or self.n_failed or self.n_timed_out
                 or self.fault_report is not None):
             tiers = ", ".join(
@@ -353,6 +362,16 @@ class ServeReport:
         if "perf.wallclock_seconds" in registry:
             expectations["perf.wallclock_seconds"] = \
                 self.wallclock_seconds
+        # A quantized replay records one quant.batches tick per
+        # dispatched batch; an exact replay must publish no quant
+        # metrics at all.
+        if self.quant is not None:
+            expectations["quant.batches"] = self.n_batches
+        elif "quant.batches" in registry:
+            raise ObservabilityError(
+                "report/registry drift: exact replay published "
+                "quant.batches"
+            )
         for name, expected in expectations.items():
             actual = registry.value(name, default=0.0)
             if actual != expected:
@@ -367,6 +386,18 @@ class ServeReport:
                 f"report/registry drift on latency histogram count: "
                 f"{self.n_served} served, {hist['count']} observed"
             )
+        if self.quant is not None:
+            pool_hist = (registry.snapshot().get("quant.rerank_pool_size")
+                         if "quant.rerank_pool_size" in registry
+                         else None)
+            if pool_hist is None or pool_hist["count"] != self.n_batches:
+                observed = (pool_hist["count"] if pool_hist is not None
+                            else "no histogram")
+                raise ObservabilityError(
+                    f"report/registry drift on rerank-pool histogram "
+                    f"count: {self.n_batches} batches, {observed} "
+                    f"observed"
+                )
 
     # ------------------------------------------------------------------
     # Canonical form

@@ -163,6 +163,40 @@ class TestBackendConformance:
         assert seconds == pytest.approx(build.seconds, rel=1e-12)
         assert backend.memory_bytes(index.graph) > 0
 
+    def test_quantized_recall_within_family_floor(self, family):
+        """Staged search holds recall for every declared quant mode.
+
+        The quantized traversal is lossy, so instead of id equality the
+        profile declares ``quant_recall_delta`` — how much recall@10
+        the family may lose to compressed traversal + exact rerank on
+        this fixture.  Quantized results must also be deterministic and
+        report exact (full-precision) distances for the ids they pick.
+        """
+        index = _built(family)
+        profile = index.backend.conformance_profile()
+        points, queries = _dataset()
+        exact_ids, _ = index.search(queries, k=K, l_n=L_N, quant="off")
+        truth = exact_knn(points, queries, K)
+        exact_recall = recall_at_k(exact_ids, truth)
+        for mode in profile.quant_modes:
+            ids, dists = index.search(queries, k=K, l_n=L_N, quant=mode)
+            again_ids, again_dists = index.search(queries, k=K, l_n=L_N,
+                                                  quant=mode)
+            assert ids.tobytes() == again_ids.tobytes(), (
+                f"family {family!r}: quant={mode} ids not deterministic"
+            )
+            assert dists.tobytes() == again_dists.tobytes(), (
+                f"family {family!r}: quant={mode} dists not "
+                f"deterministic"
+            )
+            recall = recall_at_k(ids, truth)
+            assert recall >= exact_recall - profile.quant_recall_delta, (
+                f"family {family!r}: quant={mode} recall@{K} "
+                f"{recall:.3f} fell more than "
+                f"{profile.quant_recall_delta} below exact "
+                f"{exact_recall:.3f}"
+            )
+
     def test_exact_at_saturating_pool(self, family):
         index = _built(family)
         profile = index.backend.conformance_profile()
