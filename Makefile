@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-full bench-wallclock perf-smoke \
-	quant-smoke bakeoff-smoke cluster-smoke mutate-smoke experiments \
-	examples clean
+	quant-smoke bakeoff-smoke cluster-smoke mutate-smoke heal-smoke \
+	bench-recovery experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -63,6 +63,19 @@ mutate-smoke:
 		--fault-plan compaction-crash --fault-seed 0 \
 		| tee mutate-sim.out
 	$(PYTHON) scripts/check_mutate_smoke.py mutate-sim.out
+
+# The CI heal gate: whole-stack chaos soak (cluster + mutable + quant)
+# at 3 seeds x 2 runs, byte-identical reruns, zero wrong answers,
+# every replica loss healed within the MTTR bound, quarantined
+# rebuilds never admitted.
+heal-smoke:
+	$(PYTHON) -m repro soak-sim --seed 0 | tee soak-sim.out
+	$(PYTHON) scripts/check_heal_smoke.py soak-sim.out
+
+# Regenerate the committed recovery benchmark (MTTR vs shard size and
+# WAL depth) inside BENCH_wallclock.json.
+bench-recovery:
+	$(PYTHON) benchmarks/bench_recovery.py --output BENCH_wallclock.json
 
 experiments:
 	$(PYTHON) scripts/collect_experiments.py

@@ -1,0 +1,174 @@
+"""CI gate for the self-healing soak: chaos survived, nothing wrong.
+
+Usage::
+
+    python -m repro soak-sim ... | tee soak-sim.out
+    python scripts/check_heal_smoke.py soak-sim.out
+
+Checks, per the self-healing acceptance bar:
+
+1. The captured ``soak-sim`` output carries a soak digest line (the
+   command ran every phase's zero-drift verification and the oracle
+   gate).
+2. Three in-process soak seeds each run twice and produce
+   byte-identical :class:`repro.heal.soak.SoakReport` encodings.
+3. Zero silently-wrong answers across every seed and phase: each
+   complete tier-0 answer equals the offline per-shard GANNS merge,
+   partial answers name their missing shards, tombstoned ids are
+   never served, and mutation-sim recovery is digest-faithful.
+4. Every induced single-replica loss heals within the MTTR bound —
+   no repair is abandoned or re-admitted late.
+5. The quarantine path actually exercised across the seed set, and a
+   structural sweep over repair records proves a digest-mismatched
+   rebuild is *never* the admitted one: for every healed repair the
+   admitted attempt is the (only) digest-matched attempt, and an
+   abandoned repair has no matched attempt and an infinite
+   re-admission time.
+
+Exit code 0 when all hold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+#: Frozen smoke scenario.
+SOAK_SEEDS = (0, 1, 2)
+MTTR_BOUND_SECONDS = 0.05
+
+
+def check_output_file(path: str) -> None:
+    """Assert the captured soak-sim output verified its report."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if "SoakReport:" not in text:
+        raise SystemExit(
+            f"{path}: no SoakReport summary found — did soak-sim run?")
+    if "soak digest" not in text:
+        raise SystemExit(f"{path}: no soak digest line found")
+
+
+def run_soak_battery() -> int:
+    """3 seeds x 2 runs; returns total quarantines exercised."""
+    from repro.heal import run_soak_sim
+
+    n_quarantines = 0
+    for seed in SOAK_SEEDS:
+        first = run_soak_sim(seed=seed,
+                             mttr_bound_seconds=MTTR_BOUND_SECONDS)
+        second = run_soak_sim(seed=seed,
+                              mttr_bound_seconds=MTTR_BOUND_SECONDS)
+        if first.to_bytes() != second.to_bytes():
+            raise SystemExit(
+                f"FAIL: seed {seed}: two soak runs produced different "
+                f"report bytes")
+        if first.n_wrong:
+            raise SystemExit(
+                f"FAIL: seed {seed}: {first.n_wrong} silently-wrong "
+                f"answers survived the soak")
+        if first.n_unhealed:
+            raise SystemExit(
+                f"FAIL: seed {seed}: {first.n_unhealed} replica losses "
+                f"missed the {MTTR_BOUND_SECONDS * 1e3:g} ms MTTR "
+                f"bound")
+        if first.n_repairs == 0:
+            raise SystemExit(
+                f"FAIL: seed {seed}: the chaos plan induced no repairs "
+                f"— the soak is not exercising the healing path")
+        n_quarantines += first.n_quarantines
+        print(f"  seed {seed}: byte-identical reruns, "
+              f"{first.n_repairs} repairs "
+              f"({first.n_quarantines} quarantined), "
+              f"max MTTR {first.max_mttr_seconds * 1e3:.3f} ms, "
+              f"0 wrong answers")
+    return n_quarantines
+
+
+def check_quarantine_never_admitted() -> None:
+    """Structural sweep: a mismatched rebuild is never re-admitted.
+
+    Runs a healing cluster replay with corruption cranked high enough
+    that multiple rebuild attempts quarantine, then walks every
+    :class:`repro.heal.controller.RepairRecord`: the admitted attempt
+    must be the only digest-matched one.
+    """
+    from repro.cluster import ClusterEngine
+    from repro.core.params import SearchParams
+    from repro.datasets.catalog import load_dataset
+    from repro.faults import named_fault_plan
+    from repro.heal import HealPolicy
+    from repro.serve import synthetic_trace
+
+    dataset = load_dataset("sift1m", n_points=400, n_queries=50)
+    params = SearchParams(k=8, l_n=32)
+    trace = synthetic_trace(dataset.queries, 200, mean_qps=20_000.0,
+                            queries_per_request=2, seed=7)
+    plan = named_fault_plan("soak", horizon_seconds=0.05, seed=7,
+                            n_workers=8)
+    engine = ClusterEngine(
+        dataset.points, n_shards=4, n_replicas=2, params=params,
+        faults=plan,
+        heal=HealPolicy(corruption_probability=0.8,
+                        max_rebuild_attempts=6,
+                        mttr_bound_seconds=MTTR_BOUND_SECONDS))
+    report = engine.replay(trace)
+    report.verify_against_metrics()
+    if not report.repairs:
+        raise SystemExit(
+            "FAIL: structural sweep induced no repairs")
+    for rec in report.repairs:
+        for attempt in rec.attempts[:-1]:
+            if attempt.digest_matched:
+                raise SystemExit(
+                    f"FAIL: repair s{rec.shard}r{rec.replica}: a "
+                    f"digest-matched attempt was followed by more "
+                    f"rebuilds — the controller kept rebuilding a "
+                    f"verified replica")
+        last = rec.attempts[-1]
+        if rec.healed:
+            if not last.digest_matched:
+                raise SystemExit(
+                    f"FAIL: repair s{rec.shard}r{rec.replica} was "
+                    f"admitted on a digest-MISMATCHED rebuild")
+            if rec.admitted_seconds != last.end_seconds:
+                raise SystemExit(
+                    f"FAIL: repair s{rec.shard}r{rec.replica} "
+                    f"admitted at {rec.admitted_seconds!r}, not at "
+                    f"its verified attempt's end "
+                    f"{last.end_seconds!r}")
+        else:
+            if last.digest_matched:
+                raise SystemExit(
+                    f"FAIL: repair s{rec.shard}r{rec.replica} "
+                    f"abandoned despite a digest-matched rebuild")
+            if not math.isinf(rec.admitted_seconds):
+                raise SystemExit(
+                    f"FAIL: abandoned repair s{rec.shard}"
+                    f"r{rec.replica} carries a finite admission time "
+                    f"{rec.admitted_seconds!r}")
+    n_quarantined = sum(rec.n_quarantined for rec in report.repairs)
+    print(f"  structural sweep: {len(report.repairs)} repairs, "
+          f"{n_quarantined} quarantined attempts, none admitted "
+          f"unverified")
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    check_output_file(argv[1])
+    print("soak-sim output: summary and digest present")
+    n_quarantines = run_soak_battery()
+    if n_quarantines == 0:
+        print("FAIL: no seed exercised the quarantine path — raise "
+              "corruption_probability or add seeds", file=sys.stderr)
+        return 1
+    check_quarantine_never_admitted()
+    print("heal smoke OK (byte-identical reruns, zero wrong answers, "
+          "every loss healed in bound, quarantine never admitted)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

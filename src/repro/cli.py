@@ -25,6 +25,10 @@ Commands:
 - ``mutate-sim`` — run a streaming insert/delete/compact workload with
   crash-during-compaction chaos against the crash-safe mutable index
   and print its ``MutationReport``.
+- ``soak-sim`` — run the whole-stack chaos soak: self-healing cluster,
+  mutable-store snapshot serving, and quantized staged search under
+  seeded replica-loss chaos, gated by zero-wrong-answer and MTTR
+  oracles (exit 1 if the gate fails).
 
 Any :class:`repro.errors.ReproError` a command raises is reported as a
 one-line message on stderr with exit code 2 — never a traceback.
@@ -378,6 +382,26 @@ def _cmd_mutate_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak_sim(args: argparse.Namespace) -> int:
+    from repro.heal import run_soak_sim
+
+    print(f"soaking the stack: seed={args.seed}, "
+          f"{args.shards} shards x {args.replicas} replicas over "
+          f"{args.points} points, {args.requests} requests/phase, "
+          f"corruption={args.corruption:g}, "
+          f"MTTR bound {args.mttr_bound_ms:g} ms")
+    report = run_soak_sim(
+        seed=args.seed, n_points=args.points,
+        n_requests=args.requests, n_shards=args.shards,
+        n_replicas=args.replicas,
+        mttr_bound_seconds=args.mttr_bound_ms * 1e-3,
+        corruption_probability=args.corruption)
+    print(report.summary())
+    print(f"  soak digest {report.digest()[:16]} "
+          f"(replay-deterministic; every phase metrics-verified)")
+    return 0 if report.passed else 1
+
+
 def _cmd_device(_args: argparse.Namespace) -> int:
     from repro.gpusim.costs import DEFAULT_COSTS
     from repro.gpusim.device import QUADRO_P5000
@@ -589,6 +613,29 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default compaction-crash)")
     mutate.add_argument("--fault-seed", type=int, default=0,
                         help="fault plan seed (default 0)")
+
+    soak = sub.add_parser(
+        "soak-sim",
+        help="run the whole-stack chaos soak: healing cluster, "
+             "mutable store, and quantized paths under seeded chaos "
+             "with zero-wrong-answer and MTTR oracles")
+    soak.add_argument("--seed", type=int, default=0,
+                      help="master soak seed (default 0)")
+    soak.add_argument("--points", type=int, default=500,
+                      help="cluster corpus size (default 500)")
+    soak.add_argument("--requests", type=int, default=300,
+                      help="requests in the cluster/quant phases "
+                           "(default 300)")
+    soak.add_argument("--shards", type=int, default=4,
+                      help="shard count (default 4)")
+    soak.add_argument("--replicas", type=int, default=2,
+                      help="replicas per shard (default 2)")
+    soak.add_argument("--mttr-bound-ms", type=float, default=50.0,
+                      help="MTTR bound every healed repair must meet "
+                           "in ms (default 50)")
+    soak.add_argument("--corruption", type=float, default=0.2,
+                      help="per-rebuild corruption probability "
+                           "(default 0.2; exercises quarantine)")
     return parser
 
 
@@ -613,6 +660,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "cluster-sim": _cmd_cluster_sim,
         "mutate-sim": _cmd_mutate_sim,
+        "soak-sim": _cmd_soak_sim,
     }
     try:
         return handlers[args.command](args)

@@ -76,6 +76,9 @@ from repro.cluster.report import (
     ClusterStatus,
 )
 from repro.cluster.router import ReplicaRouter, RouterPolicy
+from repro.heal.controller import RepairController, RepairRecord
+from repro.heal.policy import HealPolicy
+from repro.heal.source import StaticShardSource, StoreShardSource
 
 
 class _ShardRoute:
@@ -130,6 +133,19 @@ class ClusterEngine:
             raise a typed error and families without a flat serving
             graph raise :class:`~repro.errors.UnsupportedOperationError`
             at construction.
+        heal: Optional :class:`repro.heal.policy.HealPolicy`.  When
+            armed, a :class:`repro.heal.controller.RepairController`
+            rebuilds every dead replica from the owning shard's latest
+            snapshot (rate-limited transfer + deserialize + WAL-delta
+            catch-up + anti-entropy digest verification) and re-admits
+            it to routing — replays publish ``heal.*`` metrics/spans
+            and the report carries the repair records.  ``None``
+            (default) reproduces the pre-heal cluster byte-for-byte.
+        repair_store: Optional :class:`repro.mutable.wal.DurableStore`
+            backing the served corpus (pass it alongside
+            :meth:`from_snapshot`): rebuilds then charge the store's
+            surviving WAL delta as catch-up work through
+            :mod:`repro.mutable.recovery`.
 
     Raises:
         ClusterError: On an invalid topology, an empty shard, or a
@@ -153,7 +169,9 @@ class ClusterEngine:
                  network: Optional[NetworkModel] = None,
                  router_policy: Optional[RouterPolicy] = None,
                  n_vnodes: int = 64, placement_salt: int = 0,
-                 family: str = "nsw"):
+                 family: str = "nsw",
+                 heal: Optional[HealPolicy] = None,
+                 repair_store=None):
         from repro.core.backend import get_backend
         backend = get_backend(family)  # typed error on unknown names
         points = np.asarray(points)
@@ -212,6 +230,10 @@ class ClusterEngine:
         self.external_ids: Optional[np.ndarray] = None
         #: Epoch of the pinned snapshot, or ``None``.
         self.snapshot_epoch: Optional[int] = None
+        self.heal = heal
+        self.repair_store = repair_store
+        self._repair_sources_cache: Optional[
+            List[StaticShardSource]] = None
 
     @classmethod
     def from_snapshot(cls, handle, n_shards: int, n_replicas: int,
@@ -259,6 +281,35 @@ class ClusterEngine:
 
     def _slot(self, shard: int, replica: int) -> int:
         return shard * self.n_replicas + replica
+
+    def _repair_sources(self) -> List[StaticShardSource]:
+        """One snapshot source per shard for the repair controller.
+
+        The shard's own graph + points are the snapshot a rebuilt
+        replica receives.  When the cluster serves a durable store's
+        epoch, every rebuild additionally replays the store's
+        surviving WAL delta — the catch-up charge comes from
+        :class:`repro.heal.source.StoreShardSource`, i.e. from a real
+        :func:`repro.mutable.recovery.recover` pass over the store.
+        Cached: sources are pure functions of the (immutable) shard
+        state, so repeated replays agree.
+        """
+        if self._repair_sources_cache is None:
+            catchup = 0.0
+            wal_records = 0
+            if self.repair_store is not None:
+                delta = StoreShardSource(self.repair_store,
+                                         device=self.device,
+                                         costs=self.costs)
+                catchup = delta.catchup_seconds
+                wal_records = delta.wal_records
+            self._repair_sources_cache = [
+                StaticShardSource(self.shard_graphs[shard],
+                                  self.shard_points[shard],
+                                  catchup_seconds=catchup,
+                                  wal_records=wal_records)
+                for shard in range(self.n_shards)]
+        return self._repair_sources_cache
 
     def _make_engine(self, shard: int) -> ServeEngine:
         """A fresh serving engine over one shard (fresh cache state)."""
@@ -323,6 +374,14 @@ class ClusterEngine:
         router = ReplicaRouter(self.n_shards, self.n_replicas,
                                policy=self.router_policy,
                                plan=self.faults)
+        repairs: List[RepairRecord] = []
+        if self.heal is not None:
+            controller = RepairController(self.heal,
+                                          network=self.network,
+                                          device=self.device,
+                                          costs=self.costs)
+            repairs = controller.plan_repairs(
+                router, self._repair_sources(), plan=self.faults)
         partitions = router.partition_windows(self.faults)
         dims = self.points.shape[1]
         k = self.params.k
@@ -337,12 +396,22 @@ class ClusterEngine:
 
         # ---- Routing pass ------------------------------------------
         scatter_cost: List[float] = []
-        routes: List[List[_ShardRoute]] = []
+        routes: List[Optional[List[_ShardRoute]]] = []
         slot_subtrace: Dict[int, List[Tuple[float, int]]] = {}
         for pos, req in enumerate(trace):
             scatter = self.network.broadcast_seconds(
                 req.n_queries * dims * 4, self.n_shards)
             scatter_cost.append(scatter)
+            deadline = (req.deadline_seconds
+                        if req.deadline_seconds is not None
+                        else self.default_deadline_seconds)
+            if deadline is not None and deadline <= scatter:
+                # The deadline expires within one scatter round-trip:
+                # fanning out would burn every shard on an answer that
+                # is already guaranteed late.  Fail fast before
+                # scatter (no shard ever sees the request).
+                routes.append(None)
+                continue
             per_shard: List[_ShardRoute] = []
             for shard in range(self.n_shards):
                 decision = router.route(shard, req.arrival_seconds)
@@ -402,6 +471,23 @@ class ClusterEngine:
         for pos, req in enumerate(trace):
             arrival = req.arrival_seconds
             scatter = scatter_cost[pos]
+            if routes[pos] is None:
+                deadline = (req.deadline_seconds
+                            if req.deadline_seconds is not None
+                            else self.default_deadline_seconds)
+                request_base.append(arrival)
+                request_events.append([])
+                outcomes.append(ClusterOutcome(
+                    request_id=req.request_id,
+                    status=ClusterStatus.DEADLINE,
+                    ids=None, dists=None,
+                    arrival_seconds=arrival,
+                    completion_seconds=arrival,
+                    scatter_seconds=0.0,
+                    detail=(f"DeadlineExceededError: deadline "
+                            f"{deadline!r}s within one scatter "
+                            f"round-trip ({scatter!r}s)")))
+                continue
             events: List[Tuple[str, float, Dict]] = []
             answered_ids: List[np.ndarray] = []
             answered_dists: List[np.ndarray] = []
@@ -513,8 +599,12 @@ class ClusterEngine:
             registry.counter("cluster.requests").inc()
             registry.counter(
                 f"cluster.outcomes.{outcome.status.value}").inc()
-            registry.counter("cluster.shard_queries").inc(
-                self.n_shards)
+            if outcome.status is ClusterStatus.DEADLINE:
+                # Failed fast before fan-out: no shard saw the request.
+                registry.counter("cluster.deadline_failfast").inc()
+            else:
+                registry.counter("cluster.shard_queries").inc(
+                    self.n_shards)
             registry.counter("cluster.shards_answered").inc(
                 outcome.n_shards_answered)
             registry.counter("cluster.failovers").inc(
@@ -533,6 +623,34 @@ class ClusterEngine:
                 registry.counter("cluster.queries_answered").inc(
                     outcome.n_queries)
                 latency_hist.observe(outcome.latency_seconds)
+        if self.heal is not None:
+            mttr_hist = registry.histogram("heal.mttr_seconds",
+                                           DEFAULT_LATENCY_BUCKETS)
+            for r in repairs:
+                registry.counter("heal.deaths_detected").inc()
+                registry.counter("heal.rebuild_attempts").inc(
+                    r.n_attempts)
+                registry.counter("heal.quarantines").inc(
+                    r.n_quarantined)
+                registry.counter("heal.bytes_transferred").inc(
+                    r.bytes_transferred)
+                registry.counter("heal.wal_records_replayed").inc(
+                    r.wal_records_replayed)
+                registry.counter("heal.transfer_seconds").inc(
+                    r.transfer_seconds)
+                registry.counter("heal.catchup_seconds").inc(
+                    r.catchup_seconds)
+                registry.counter("heal.verify_seconds").inc(
+                    r.verify_seconds)
+                registry.counter("heal.deserialize_seconds").inc(
+                    sum(a.deserialize_seconds for a in r.attempts))
+                if r.healed:
+                    registry.counter("heal.repairs_completed").inc()
+                    mttr_hist.observe(r.mttr_seconds)
+                else:
+                    registry.counter("heal.repairs_abandoned").inc()
+            registry.gauge("heal.unhealed_replicas").set(
+                sum(1 for r in repairs if not r.healed))
         first_arrival = trace[0].arrival_seconds if trace else 0.0
         last_completion = max(
             (o.completion_seconds for o in outcomes), default=0.0)
@@ -548,6 +666,10 @@ class ClusterEngine:
                 root_end = max(root_end, last)
             root_end = max(root_end, last_completion, last_arrival
                            if trace else root_start)
+            for r in repairs:
+                root_start = min(root_start, r.death_seconds)
+                root_end = max(root_end,
+                               r.attempts[-1].end_seconds)
             root_attrs = {"n_requests": len(trace),
                           "n_shards": self.n_shards,
                           "n_replicas": self.n_replicas}
@@ -574,6 +696,44 @@ class ClusterEngine:
                     attributes={"shard": shard, "replica": replica,
                                 "n_requests": n_requests,
                                 "n_served": n_served})
+            for r in repairs:
+                span = tracer.begin(
+                    "heal.repair", r.death_seconds, parent_id=root,
+                    lane_group="heal.repairs",
+                    attributes={"shard": r.shard,
+                                "replica": r.replica,
+                                "snapshot_bytes": r.snapshot_bytes,
+                                "wal_records": r.wal_records})
+                tracer.event(span, r.detect_seconds, "heal.detected")
+                for index, attempt in enumerate(r.attempts):
+                    t = attempt.start_seconds
+                    tracer.add("heal.transfer", t,
+                               t + attempt.transfer_seconds,
+                               parent_id=span)
+                    t += attempt.transfer_seconds
+                    tracer.add("heal.deserialize", t,
+                               t + attempt.deserialize_seconds,
+                               parent_id=span)
+                    t += attempt.deserialize_seconds
+                    if attempt.catchup_seconds > 0:
+                        tracer.add("heal.catchup", t,
+                                   t + attempt.catchup_seconds,
+                                   parent_id=span)
+                    t += attempt.catchup_seconds
+                    tracer.add("heal.verify", t,
+                               t + attempt.verify_seconds,
+                               parent_id=span)
+                    if not attempt.digest_matched:
+                        tracer.event(span, attempt.end_seconds,
+                                     "heal.quarantine",
+                                     {"attempt": index})
+                tracer.end(span, r.attempts[-1].end_seconds,
+                           attributes={
+                               "status": r.status,
+                               "n_attempts": r.n_attempts,
+                               "mttr_seconds": (r.mttr_seconds
+                                                if r.healed
+                                                else -1.0)})
             for pos, outcome in enumerate(outcomes):
                 arrival = outcome.arrival_seconds
                 span = tracer.begin(
@@ -582,11 +742,12 @@ class ClusterEngine:
                     attributes={
                         "request_id": outcome.request_id,
                         "n_queries": trace[pos].n_queries})
-                scatter_end = arrival + outcome.scatter_seconds
-                tracer.add("cluster.scatter", arrival, scatter_end,
-                           parent_id=span)
-                tracer.add("cluster.wait", scatter_end,
-                           request_base[pos], parent_id=span)
+                if outcome.status is not ClusterStatus.DEADLINE:
+                    scatter_end = arrival + outcome.scatter_seconds
+                    tracer.add("cluster.scatter", arrival,
+                               scatter_end, parent_id=span)
+                    tracer.add("cluster.wait", scatter_end,
+                               request_base[pos], parent_id=span)
                 if outcome.answered:
                     tracer.add("cluster.merge", request_base[pos],
                                outcome.completion_seconds,
@@ -619,4 +780,8 @@ class ClusterEngine:
             n_replica_deaths=router.n_loss_events,
             metrics=registry,
             wallclock_seconds=wallclock,
+            heal_enabled=self.heal is not None,
+            repairs=tuple(repairs),
+            mttr_bound_seconds=(self.heal.mttr_bound_seconds
+                                if self.heal is not None else 0.0),
         )

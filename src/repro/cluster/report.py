@@ -38,6 +38,10 @@ class ClusterStatus(enum.Enum):
     PARTIAL = "partial"
     #: No shard answered.
     FAILED = "failed"
+    #: The request arrived within one scatter round-trip of its
+    #: deadline and was failed fast *before* fan-out — no shard ever
+    #: saw it (:class:`repro.errors.DeadlineExceededError`).
+    DEADLINE = "deadline"
 
 
 @dataclass(frozen=True, eq=False)
@@ -124,6 +128,15 @@ class ClusterReport:
             :meth:`verify_against_metrics` reconciles against it.
         wallclock_seconds: Host wall-clock of the replay (volatile;
             excluded from :meth:`to_bytes`).
+        heal_enabled: Whether a self-healing policy was armed for the
+            replay; gates the ``heal.*`` reconciliation and the heal
+            section of :meth:`to_bytes` so heal-off reports stay
+            byte-identical to their pre-heal encodings.
+        repairs: :class:`repro.heal.controller.RepairRecord` per
+            effective replica death, death order.
+        mttr_bound_seconds: The armed policy's healing SLO (``0.0``
+            when healing is off); :meth:`unhealed_within` and the soak
+            oracles check repairs against it.
     """
 
     outcomes: List[ClusterOutcome]
@@ -135,6 +148,9 @@ class ClusterReport:
     n_replica_deaths: int = 0
     metrics: Optional[object] = None
     wallclock_seconds: float = 0.0
+    heal_enabled: bool = False
+    repairs: Tuple = ()
+    mttr_bound_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     # Populations
@@ -163,6 +179,12 @@ class ClusterReport:
                    if o.status is ClusterStatus.FAILED)
 
     @property
+    def n_deadline_failfast(self) -> int:
+        """Requests rejected before fan-out (deadline unmeetable)."""
+        return sum(1 for o in self.outcomes
+                   if o.status is ClusterStatus.DEADLINE)
+
+    @property
     def n_answered(self) -> int:
         """Requests that received any merged answer."""
         return sum(1 for o in self.outcomes if o.answered)
@@ -181,6 +203,50 @@ class ClusterReport:
     def n_shard_misses(self) -> int:
         """Total (request, shard) pairs that contributed nothing."""
         return sum(len(o.missing_shards) for o in self.outcomes)
+
+    # ------------------------------------------------------------------
+    # Healing
+    # ------------------------------------------------------------------
+
+    @property
+    def n_repairs(self) -> int:
+        """Effective replica deaths the repair controller processed."""
+        return len(self.repairs)
+
+    @property
+    def n_repairs_healed(self) -> int:
+        """Repairs that re-admitted a digest-verified replica."""
+        return sum(1 for r in self.repairs if r.healed)
+
+    @property
+    def n_repairs_abandoned(self) -> int:
+        """Repairs that ran out of rebuild attempts (slot stays dead)."""
+        return sum(1 for r in self.repairs if not r.healed)
+
+    @property
+    def n_quarantines(self) -> int:
+        """Rebuild attempts discarded on a digest mismatch."""
+        return sum(r.n_quarantined for r in self.repairs)
+
+    def mttr_values(self) -> np.ndarray:
+        """Death-to-re-admission times of every healed repair."""
+        return np.array([r.mttr_seconds for r in self.repairs
+                         if r.healed], dtype=np.float64)
+
+    @property
+    def max_mttr_seconds(self) -> float:
+        """Worst healed MTTR (``0.0`` with no healed repairs)."""
+        values = self.mttr_values()
+        return float(values.max()) if len(values) else 0.0
+
+    def unhealed_within(self, bound_seconds: float) -> List:
+        """Repairs that missed the MTTR bound (abandoned, or too slow).
+
+        The soak gate demands this list be empty for every
+        single-replica loss the chaos plan induced.
+        """
+        return [r for r in self.repairs
+                if not r.healed or r.mttr_seconds > bound_seconds]
 
     # ------------------------------------------------------------------
     # Latency / overhead
@@ -309,6 +375,17 @@ class ClusterReport:
             f"{self.n_shard_misses} shard misses, "
             f"{self.n_replica_deaths} replica deaths scheduled",
         ]
+        if self.n_deadline_failfast:
+            lines.append(
+                f"  deadlines     {self.n_deadline_failfast} requests "
+                f"failed fast before fan-out")
+        if self.heal_enabled:
+            lines.append(
+                f"  healing       {self.n_repairs_healed}/"
+                f"{self.n_repairs} repairs admitted, "
+                f"{self.n_quarantines} quarantined rebuilds, max MTTR "
+                f"{self.max_mttr_seconds * 1e3:.3f} ms (bound "
+                f"{self.mttr_bound_seconds * 1e3:.1f} ms)")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -343,8 +420,14 @@ class ClusterReport:
             "cluster.outcomes.served": self.n_served,
             "cluster.outcomes.partial": self.n_partial,
             "cluster.outcomes.failed": self.n_failed,
+            "cluster.outcomes.deadline": self.n_deadline_failfast,
+            "cluster.deadline_failfast": self.n_deadline_failfast,
             "cluster.queries_answered": self.answered_queries,
-            "cluster.shard_queries": self.n_requests * self.n_shards,
+            # Deadline-rejected requests never fan out: no shard sees
+            # them, so they contribute no shard-queries.
+            "cluster.shard_queries":
+                (self.n_requests - self.n_deadline_failfast)
+                * self.n_shards,
             "cluster.shards_answered":
                 sum(o.n_shards_answered for o in self.outcomes),
             "cluster.failovers": self.n_failovers,
@@ -356,6 +439,35 @@ class ClusterReport:
             "cluster.scatter_seconds": scatter_seconds,
             "cluster.makespan_seconds": self.makespan_seconds,
         }
+        if self.heal_enabled:
+            # Re-sum float totals in publication (death) order so the
+            # comparison is exact.
+            transfer = catchup = verify = deserialize = 0.0
+            attempts = quarantines = bytes_moved = wal_replayed = 0
+            for r in self.repairs:
+                transfer += r.transfer_seconds
+                catchup += r.catchup_seconds
+                verify += r.verify_seconds
+                deserialize += sum(a.deserialize_seconds
+                                   for a in r.attempts)
+                attempts += r.n_attempts
+                quarantines += r.n_quarantined
+                bytes_moved += r.bytes_transferred
+                wal_replayed += r.wal_records_replayed
+            expectations.update({
+                "heal.deaths_detected": self.n_repairs,
+                "heal.repairs_completed": self.n_repairs_healed,
+                "heal.repairs_abandoned": self.n_repairs_abandoned,
+                "heal.rebuild_attempts": attempts,
+                "heal.quarantines": quarantines,
+                "heal.bytes_transferred": bytes_moved,
+                "heal.wal_records_replayed": wal_replayed,
+                "heal.transfer_seconds": transfer,
+                "heal.catchup_seconds": catchup,
+                "heal.verify_seconds": verify,
+                "heal.deserialize_seconds": deserialize,
+                "heal.unhealed_replicas": self.n_repairs_abandoned,
+            })
         for name, expected in expectations.items():
             actual = registry.value(name, default=0.0)
             if actual != expected:
@@ -370,6 +482,16 @@ class ClusterReport:
                 f"report/registry drift on latency histogram count: "
                 f"{self.n_answered} answered, {hist['count']} observed"
             )
+        if self.heal_enabled:
+            mttr = (registry.snapshot().get("heal.mttr_seconds")
+                    if "heal.mttr_seconds" in registry else None)
+            observed = 0 if mttr is None else mttr["count"]
+            if observed != self.n_repairs_healed:
+                raise ObservabilityError(
+                    f"report/registry drift on MTTR histogram count: "
+                    f"{self.n_repairs_healed} healed, {observed} "
+                    f"observed"
+                )
 
     # ------------------------------------------------------------------
     # Canonical form
@@ -404,6 +526,14 @@ class ClusterReport:
                 f"\nmakespan={self.makespan_seconds!r}"
                 f"\ndeaths={self.n_replica_deaths}")
         chunks.append(tail.encode("utf-8"))
+        if self.heal_enabled:
+            heal_lines = [f"\nheal repairs={self.n_repairs} "
+                          f"healed={self.n_repairs_healed} "
+                          f"quarantines={self.n_quarantines} "
+                          f"bound={self.mttr_bound_seconds!r}"]
+            for r in self.repairs:
+                heal_lines.append("\n" + r.to_line())
+            chunks.append("".join(heal_lines).encode("utf-8"))
         return b"".join(chunks)
 
     def digest(self) -> str:

@@ -10,6 +10,15 @@ dead replica, bounce, pay the failover penalty, and retry on a sibling
 — exactly the detection/retry structure a real serving mesh exhibits,
 just on the deterministic simulated clock.
 
+Health is tracked as **down windows** ``[death, revive)`` per slot.
+Without a self-healing layer every window is ``[death, inf)`` — a dead
+replica stays dead, which is exactly the pre-heal behavior.  The
+:class:`repro.heal.controller.RepairController` closes windows by
+installing the simulated instant a rebuilt, digest-verified replica is
+re-admitted to routing (:meth:`ReplicaRouter.install_downtime`); from
+that instant the slot serves again and a shard that had degraded to
+``PARTIAL`` is healthy once more.
+
 Routing outcome taxonomy:
 
 - **clean** — the picked replica is alive; no penalty.
@@ -25,7 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ClusterError
 from repro.faults.plan import FAULT_WORKER_LOSS, FaultPlan
@@ -105,6 +114,11 @@ class ReplicaRouter:
         self._rr = [0] * self.n_shards
         #: Flat slot id -> simulated death time (first loss wins).
         self.death_at: Dict[int, float] = {}
+        #: ``(at_seconds, slot)`` of every loss event after target
+        #: folding, in plan event order — the repair controller replays
+        #: this schedule so both layers agree on which slot each event
+        #: killed.
+        self.loss_schedule: List[Tuple[float, int]] = []
         self.n_loss_events = 0
         if plan is not None:
             n_slots = self.n_shards * self.n_replicas
@@ -115,23 +129,89 @@ class ReplicaRouter:
                 if not 0 <= slot < n_slots:
                     slot = self.n_loss_events % n_slots
                 self.n_loss_events += 1
+                self.loss_schedule.append((event.at_seconds, slot))
                 previous = self.death_at.get(slot, math.inf)
                 self.death_at[slot] = min(previous, event.at_seconds)
+        #: Flat slot id -> sorted, disjoint ``[death, revive)`` down
+        #: windows.  Defaults to one unbounded window per death — dead
+        #: forever — which reproduces the pre-heal router exactly; the
+        #: repair controller replaces these with bounded windows.
+        self.down_windows: Dict[int, List[Tuple[float, float]]] = {
+            slot: [(death, math.inf)]
+            for slot, death in self.death_at.items()}
 
     def _slot(self, shard: int, replica: int) -> int:
         return shard * self.n_replicas + replica
 
+    def install_downtime(self, slot: int,
+                         windows: Sequence[Tuple[float, float]]) -> None:
+        """Replace one slot's down windows with healed intervals.
+
+        Args:
+            slot: Flat slot id ``shard * n_replicas + replica``.
+            windows: ``(death, revive)`` pairs, ascending and disjoint;
+                ``revive`` may be ``inf`` for a repair that never
+                completed.  The replica serves outside every window.
+
+        Raises:
+            ClusterError: On an out-of-range slot or malformed windows.
+        """
+        if not 0 <= slot < self.n_shards * self.n_replicas:
+            raise ClusterError(
+                f"slot {slot} out of range "
+                f"[0, {self.n_shards * self.n_replicas})"
+            )
+        cleaned: List[Tuple[float, float]] = []
+        last_end = -math.inf
+        for death, revive in windows:
+            if not revive > death:
+                raise ClusterError(
+                    f"down window must satisfy revive > death, got "
+                    f"[{death}, {revive})"
+                )
+            if death < last_end:
+                raise ClusterError(
+                    f"down windows must be ascending and disjoint, got "
+                    f"{list(windows)}"
+                )
+            cleaned.append((float(death), float(revive)))
+            last_end = revive
+        if cleaned:
+            self.down_windows[slot] = cleaned
+        else:
+            self.down_windows.pop(slot, None)
+
+    def _window_at(self, slot: int,
+                   now: float) -> Optional[Tuple[float, float]]:
+        for death, revive in self.down_windows.get(slot, ()):
+            if death <= now < revive:
+                return (death, revive)
+        return None
+
     def death_time(self, shard: int, replica: int) -> float:
-        """Simulated death instant of a replica (``inf`` if never)."""
-        return self.death_at.get(self._slot(shard, replica), math.inf)
+        """Simulated instant of the replica's *first* death (``inf``
+        if it never dies)."""
+        windows = self.down_windows.get(self._slot(shard, replica))
+        return windows[0][0] if windows else math.inf
+
+    def revive_time(self, shard: int, replica: int) -> float:
+        """Re-admission instant of the replica's last down window
+        (``inf`` while it is dead forever, also ``inf`` if it never
+        died)."""
+        windows = self.down_windows.get(self._slot(shard, replica))
+        return windows[-1][1] if windows else math.inf
 
     def is_alive(self, shard: int, replica: int, now: float) -> bool:
-        """True while the replica has not died yet."""
-        return now < self.death_time(shard, replica)
+        """True while the replica is not inside a down window."""
+        return self._window_at(self._slot(shard, replica), now) is None
 
     def is_masked(self, shard: int, replica: int, now: float) -> bool:
-        """True once the heartbeat window has exposed the death."""
-        death = self.death_time(shard, replica)
+        """True once the heartbeat window has exposed a death that has
+        not yet been healed."""
+        window = self._window_at(self._slot(shard, replica), now)
+        if window is None:
+            return False
+        death, _ = window
         return death + self.policy.heartbeat_seconds <= now
 
     def reset(self) -> None:

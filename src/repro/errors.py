@@ -119,6 +119,26 @@ class ClusterError(ServeError):
     """
 
 
+class DeadlineExceededError(ServeError):
+    """A request's deadline cannot be met and it was failed fast.
+
+    Raised (and recorded as an outcome detail) by the cluster
+    coordinator when a request arrives within one scatter round-trip of
+    its deadline: fanning it out to every shard would burn cluster-wide
+    work on an answer that is already guaranteed to be late, so the
+    coordinator rejects it *before* scatter instead.
+    """
+
+
+class HealError(ClusterError):
+    """The self-healing layer was misused or misconfigured.
+
+    Examples: a repair policy with a non-positive bandwidth fraction,
+    a repair source whose digest cannot be computed, or a controller
+    driven with revival times that precede the death they repair.
+    """
+
+
 class ObservabilityError(ReproError):
     """The observability layer was misused, or a trace is malformed.
 

@@ -323,6 +323,18 @@ _NAMED_RECIPES: Dict[str, Dict[str, float]] = {
         # lands several hits across a few dozen ops.
         FAULT_CRASH: 0.1,
     },
+    "soak": {
+        # Repair-aware whole-stack chaos for the self-healing soak
+        # gate: replica deaths dense enough that the RepairController
+        # queues several rebuilds per replay, partitions to delay
+        # sub-replays across repair windows, and background kernel
+        # flakiness so retries and breakers stay busy while repairs
+        # run.  Pass n_workers = shards * replicas.
+        FAULT_WORKER_LOSS: 150.0,
+        FAULT_NETWORK_PARTITION: 25.0,
+        FAULT_KERNEL_STALL: 30.0,
+        FAULT_KERNEL_TIMEOUT: 10.0,
+    },
 }
 
 
@@ -333,7 +345,7 @@ def named_fault_plan(name: str, horizon_seconds: float,
     Args:
         name: Recipe name (``none``, ``mild``, ``aggressive``,
             ``memory``, ``blackout``, ``replica-loss``,
-            ``compaction-crash``).
+            ``compaction-crash``, ``soak``).
         horizon_seconds: Simulated length the plan should cover —
             typically the expected trace duration with headroom.
         seed: Plan seed.

@@ -103,10 +103,16 @@ class BreakerPolicy:
             breaker open.
         cooldown_seconds: How long an open breaker blocks dispatches
             before allowing a half-open probe.
+        half_open_probes: Consecutive successful probe dispatches a
+            half-open breaker requires before it closes again (default
+            ``1`` reproduces the classic close-on-first-success
+            breaker).  Any probe failure re-opens immediately, whatever
+            the streak.
     """
 
     failure_threshold: int = 3
     cooldown_seconds: float = 2e-3
+    half_open_probes: int = 1
 
     def __post_init__(self) -> None:
         if self.failure_threshold <= 0:
@@ -118,6 +124,11 @@ class BreakerPolicy:
             raise ConfigurationError(
                 f"cooldown_seconds must be >= 0, got "
                 f"{self.cooldown_seconds}"
+            )
+        if self.half_open_probes <= 0:
+            raise ConfigurationError(
+                f"half_open_probes must be positive, got "
+                f"{self.half_open_probes}"
             )
 
 
@@ -144,6 +155,10 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.open_until = 0.0
         self.transitions: List[BreakerTransition] = []
+        #: Successful dispatches recorded while half-open (total across
+        #: the replay — the ``faults.breaker.probe_successes`` metric).
+        self.probe_successes = 0
+        self._half_open_streak = 0
 
     def _move(self, now: float, to_state: str) -> None:
         if to_state == self.state:
@@ -151,12 +166,14 @@ class CircuitBreaker:
         self.transitions.append(BreakerTransition(
             seconds=now, from_state=self.state, to_state=to_state))
         self.state = to_state
+        self._half_open_streak = 0
 
     def allow(self, now: float) -> bool:
         """May a dispatch proceed at ``now``?
 
         An open breaker whose cooldown has elapsed moves to half-open
-        and admits exactly one probe dispatch.
+        and admits probe dispatches until either one fails (re-open)
+        or ``policy.half_open_probes`` in a row succeed (close).
         """
         if self.state == BREAKER_OPEN and now >= self.open_until:
             self._move(now, BREAKER_HALF_OPEN)
@@ -168,8 +185,20 @@ class CircuitBreaker:
         return self.state != BREAKER_CLOSED
 
     def record_success(self, now: float) -> None:
-        """A dispatch attempt succeeded: reset and close."""
+        """A dispatch attempt succeeded.
+
+        A closed breaker just resets its failure count.  A half-open
+        breaker counts the probe; it closes only once
+        ``policy.half_open_probes`` consecutive probes have succeeded
+        — until then further dispatches remain probes (and a single
+        failure re-opens).
+        """
         self.consecutive_failures = 0
+        if self.state == BREAKER_HALF_OPEN:
+            self.probe_successes += 1
+            self._half_open_streak += 1
+            if self._half_open_streak < self.policy.half_open_probes:
+                return
         self._move(now, BREAKER_CLOSED)
 
     def record_failure(self, now: float) -> None:

@@ -72,6 +72,10 @@ class FaultReport:
             the breaker was open.
         deadline_dropped_requests: Requests dropped undispatched because
             their deadline expired while queued.
+        probe_successes: Successful dispatches recorded while the
+            breaker was half-open (with ``BreakerPolicy
+            .half_open_probes > 1`` the breaker needs several of these
+            in a row before it closes).
     """
 
     scheduled_faults: int = 0
@@ -82,6 +86,7 @@ class FaultReport:
     degradations: List[DegradationRecord] = field(default_factory=list)
     fast_failed_requests: int = 0
     deadline_dropped_requests: int = 0
+    probe_successes: int = 0
 
     # ------------------------------------------------------------------
     # Counters
@@ -150,6 +155,8 @@ class FaultReport:
                 states.get(transition.to_state, 0) + 1
         for state, count in states.items():
             expectations[f"faults.breaker.{state}"] = count
+        expectations["faults.breaker.probe_successes"] = \
+            self.probe_successes
         for name, expected in expectations.items():
             actual = registry.value(name, default=0.0)
             if actual != expected:
@@ -175,6 +182,7 @@ class FaultReport:
             f"{self.n_fatal} fatal attempts",
             f"  breaker       {self.n_breaker_trips} trips, "
             f"{len(self.breaker_transitions)} transitions, "
+            f"{self.probe_successes} probe successes, "
             f"{self.fast_failed_requests} requests failed fast",
             f"  degradation   {self.n_degraded_batches} batches below "
             f"tier 0",
@@ -188,7 +196,8 @@ class FaultReport:
         parts: List[str] = [f"scheduled={self.scheduled_faults}",
                             f"fast_failed={self.fast_failed_requests}",
                             f"deadline_dropped="
-                            f"{self.deadline_dropped_requests}"]
+                            f"{self.deadline_dropped_requests}",
+                            f"probe_successes={self.probe_successes}"]
         for r in self.injections:
             parts.append(f"inject {r.seconds!r} {r.kind} "
                          f"{r.batch_index} {r.attempt} {int(r.fatal)}")

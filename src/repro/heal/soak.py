@@ -1,0 +1,419 @@
+"""Whole-stack chaos soak: healing cluster + mutable + quant paths.
+
+:func:`run_soak_sim` is the capstone gate of the self-healing layer.
+One seeded soak replays three phases, each under its own chaos plan on
+the simulated clock:
+
+1. **cluster** — a healing :class:`repro.cluster.ClusterEngine` under
+   the ``soak`` fault recipe (dense replica deaths + partitions +
+   kernel flakiness), with corruption injected into a fraction of
+   rebuilds so the quarantine path exercises.
+2. **mutable** — :func:`repro.mutable.sim.run_mutation_sim` under
+   ``compaction-crash``, a recovery-faithfulness digest check, then a
+   healing cluster served *from the surviving store's snapshot* with
+   the store itself as the repair source (WAL catch-up is charged).
+3. **quant** — the cluster phase again through the quantized staged
+   pipeline (compressed traversal + exact rerank).
+
+Every phase runs its zero-drift verification inline (report vs
+metrics registry, span-tree validation) and an offline oracle: each
+*complete* tier-0 answer must byte-equal the direct per-shard GANNS
+merge over the same placement — a wrong answer is never silent.  The
+:class:`SoakReport` is canonical (:meth:`SoakReport.to_bytes` /
+:meth:`SoakReport.digest`): two runs of the same seed are
+byte-identical, which is exactly what ``scripts/check_heal_smoke.py``
+asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import HealError
+
+#: Phase names, replay order.
+PHASE_CLUSTER = "cluster"
+PHASE_MUTABLE = "mutable"
+PHASE_QUANT = "quant"
+
+
+@dataclass(frozen=True)
+class SoakPhaseResult:
+    """Verified outcome of one soak phase.
+
+    Attributes:
+        name: Phase name (``cluster`` / ``mutable`` / ``quant``).
+        n_requests: Requests replayed through the phase's cluster.
+        n_served: Complete answers.
+        n_partial: Answers explicitly missing shards.
+        n_failed: Requests with no answer.
+        n_deadline: Requests failed fast before fan-out.
+        n_wrong: Oracle violations — complete answers diverging from
+            the offline per-shard merge, partial answers that fail to
+            name their missing shards, tombstoned ids served, or (in
+            the mutable phase) wrong answers / recovery-digest drift
+            inside the mutation sim.  The gate demands zero.
+        n_repairs: Replica rebuilds the :class:`RepairController`
+            scheduled.
+        n_healed: Rebuilds verified and re-admitted.
+        n_abandoned: Rebuilds abandoned after exhausting attempts.
+        n_quarantines: Digest-mismatched rebuilds quarantined (never
+            admitted to routing).
+        max_mttr_seconds: Worst detect-to-readmit time over healed
+            repairs (``0.0`` when none).
+        n_unhealed_within_bound: Repairs that missed the phase's MTTR
+            bound (abandoned, or healed too slowly).
+        report_digest: The phase report's canonical digest.
+        detail: Free-form note (mutation-sim crash/recovery counts).
+    """
+
+    name: str
+    n_requests: int
+    n_served: int
+    n_partial: int
+    n_failed: int
+    n_deadline: int
+    n_wrong: int
+    n_repairs: int
+    n_healed: int
+    n_abandoned: int
+    n_quarantines: int
+    max_mttr_seconds: float
+    n_unhealed_within_bound: int
+    report_digest: str
+    detail: str = ""
+
+    def to_line(self) -> str:
+        """Canonical single-line encoding."""
+        return (f"phase {self.name} requests={self.n_requests} "
+                f"served={self.n_served} partial={self.n_partial} "
+                f"failed={self.n_failed} deadline={self.n_deadline} "
+                f"wrong={self.n_wrong} repairs={self.n_repairs} "
+                f"healed={self.n_healed} abandoned={self.n_abandoned} "
+                f"quarantines={self.n_quarantines} "
+                f"max_mttr={self.max_mttr_seconds!r} "
+                f"unhealed={self.n_unhealed_within_bound} "
+                f"digest={self.report_digest} detail={self.detail!r}")
+
+
+@dataclass
+class SoakReport:
+    """Canonical record of one whole-stack soak run.
+
+    Attributes:
+        seed: The soak seed (drives traces, plans, and corruption).
+        mttr_bound_seconds: The bound every healed repair must meet.
+        phases: Per-phase verified results, replay order.
+    """
+
+    seed: int
+    mttr_bound_seconds: float
+    phases: List[SoakPhaseResult] = field(default_factory=list)
+
+    # -- gate properties ------------------------------------------------
+
+    @property
+    def n_wrong(self) -> int:
+        """Oracle violations across all phases (gate: zero)."""
+        return sum(p.n_wrong for p in self.phases)
+
+    @property
+    def n_repairs(self) -> int:
+        """Rebuilds scheduled across all phases."""
+        return sum(p.n_repairs for p in self.phases)
+
+    @property
+    def n_healed(self) -> int:
+        """Rebuilds verified and re-admitted across all phases."""
+        return sum(p.n_healed for p in self.phases)
+
+    @property
+    def n_quarantines(self) -> int:
+        """Digest-mismatched rebuilds quarantined across all phases."""
+        return sum(p.n_quarantines for p in self.phases)
+
+    @property
+    def n_unhealed(self) -> int:
+        """Repairs that missed the MTTR bound (gate: zero)."""
+        return sum(p.n_unhealed_within_bound for p in self.phases)
+
+    @property
+    def max_mttr_seconds(self) -> float:
+        """Worst healed-repair MTTR across all phases."""
+        return max((p.max_mttr_seconds for p in self.phases),
+                   default=0.0)
+
+    @property
+    def passed(self) -> bool:
+        """The soak gate: zero wrong answers, every loss healed in
+        bound, and at least one repair actually exercised."""
+        return (self.n_wrong == 0 and self.n_unhealed == 0
+                and self.n_repairs > 0)
+
+    # -- rendering ------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Canonical byte encoding; byte-identical across reruns."""
+        lines = [f"soak seed={self.seed} "
+                 f"bound={self.mttr_bound_seconds!r}"]
+        lines.extend(p.to_line() for p in self.phases)
+        lines.append(f"totals wrong={self.n_wrong} "
+                     f"repairs={self.n_repairs} healed={self.n_healed} "
+                     f"quarantines={self.n_quarantines} "
+                     f"unhealed={self.n_unhealed} "
+                     f"passed={int(self.passed)}")
+        return "\n".join(lines).encode("utf-8")
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical encoding."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
+
+    def summary(self) -> str:
+        """Human-readable soak block."""
+        lines = [
+            f"SoakReport: seed {self.seed}, {len(self.phases)} phases, "
+            f"{'PASS' if self.passed else 'FAIL'}",
+            f"  wrong answers {self.n_wrong} (gate: 0)",
+            f"  repairs       {self.n_repairs} scheduled, "
+            f"{self.n_healed} healed, {self.n_quarantines} "
+            f"quarantined, {self.n_unhealed} outside the "
+            f"{self.mttr_bound_seconds * 1e3:g} ms MTTR bound",
+            f"  max MTTR      {self.max_mttr_seconds * 1e3:.3f} ms",
+        ]
+        for p in self.phases:
+            lines.append(
+                f"  [{p.name}] {p.n_served}/{p.n_requests} served, "
+                f"{p.n_partial} partial, {p.n_wrong} wrong, "
+                f"{p.n_repairs} repairs ({p.n_quarantines} "
+                f"quarantined)"
+                + (f" — {p.detail}" if p.detail else ""))
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Phase runners
+# ----------------------------------------------------------------------
+
+
+def _oracle_reference(engine, pool: np.ndarray, params):
+    """Offline per-shard GANNS merge every complete answer must equal."""
+    from repro.cluster import merge_topk
+    from repro.core.ganns import ganns_search
+
+    shard_ids, shard_dists = [], []
+    for shard in range(engine.n_shards):
+        result = ganns_search(engine.shard_graphs[shard],
+                              engine.shard_points[shard], pool, params)
+        shard_ids.append(engine.shard_map.to_global(shard, result.ids))
+        shard_dists.append(result.dists)
+    return merge_topk(params.k, shard_ids, shard_dists)
+
+
+def _count_wrong(engine, report, trace, pool: np.ndarray, params,
+                 live_ids: Optional[np.ndarray] = None) -> int:
+    """Oracle violations in one cluster replay.
+
+    A violation is: a complete tier-0 answer diverging from the
+    offline merge, an answered-but-partial outcome that fails to name
+    its missing shards, or (snapshot-served engines) a tombstoned slot
+    id appearing in any complete answer.
+    """
+    ref_ids, ref_dists = _oracle_reference(engine, pool, params)
+    pool_row = {pool[i].tobytes(): i for i in range(len(pool))}
+    n_wrong = 0
+    for pos, outcome in enumerate(report.outcomes):
+        if not outcome.complete:
+            if outcome.answered and not outcome.missing_shards:
+                n_wrong += 1
+            continue
+        if live_ids is not None:
+            external = engine.map_to_external(outcome.ids)
+            served = external[external >= 0]
+            if len(served) and not np.isin(served, live_ids).all():
+                n_wrong += 1
+                continue
+        if outcome.degraded_tier != 0:
+            continue
+        rows = [pool_row[q.tobytes()] for q in trace[pos].queries]
+        if not (np.array_equal(outcome.ids, ref_ids[rows])
+                and np.array_equal(outcome.dists, ref_dists[rows])):
+            n_wrong += 1
+    return n_wrong
+
+
+def _phase_from_report(name: str, report, n_wrong: int,
+                       bound_seconds: float,
+                       detail: str = "") -> SoakPhaseResult:
+    return SoakPhaseResult(
+        name=name,
+        n_requests=report.n_requests,
+        n_served=report.n_served,
+        n_partial=report.n_partial,
+        n_failed=report.n_failed,
+        n_deadline=report.n_deadline_failfast,
+        n_wrong=n_wrong,
+        n_repairs=report.n_repairs,
+        n_healed=report.n_repairs_healed,
+        n_abandoned=report.n_repairs_abandoned,
+        n_quarantines=report.n_quarantines,
+        max_mttr_seconds=report.max_mttr_seconds,
+        n_unhealed_within_bound=len(
+            report.unhealed_within(bound_seconds)),
+        report_digest=report.digest()[:16],
+        detail=detail,
+    )
+
+
+def _replay_verified(engine, trace):
+    """Replay with inline zero-drift verification; returns the report."""
+    from repro.observability import SpanTracer
+
+    tracer = SpanTracer()
+    report = engine.replay(trace, tracer=tracer)
+    tracer.finish()
+    tracer.validate()
+    report.verify_against_metrics()
+    return report
+
+
+def run_soak_sim(seed: int = 0, *,
+                 n_points: int = 500, n_pool: int = 100,
+                 n_requests: int = 300, mean_qps: float = 20_000.0,
+                 n_shards: int = 4, n_replicas: int = 2,
+                 mttr_bound_seconds: float = 0.05,
+                 corruption_probability: float = 0.2,
+                 mutation_ops: int = 20) -> SoakReport:
+    """Run the three-phase whole-stack chaos soak.
+
+    Everything downstream is a pure function of the arguments: traces,
+    fault plans, and rebuild-corruption draws are all seeded, so two
+    calls with the same inputs return byte-identical
+    :class:`SoakReport` encodings.
+
+    Args:
+        seed: Master seed; each phase derives its own trace/plan seeds
+            from it deterministically.
+        n_points: Cluster corpus size (phases 1 and 3).
+        n_pool: Query-pool size.
+        n_requests: Requests in the cluster/quant phases (the mutable
+            phase replays half as many over the snapshot cluster).
+        mean_qps: Trace arrival rate.
+        n_shards: Shards in the cluster/quant phases.
+        n_replicas: Replicas per shard.
+        mttr_bound_seconds: Bound every healed repair must meet.
+        corruption_probability: Per-rebuild corruption rate — keeps the
+            quarantine + re-rebuild path honest.
+        mutation_ops: Mutation ops in the mutable phase.
+    """
+    from repro.cluster import ClusterEngine
+    from repro.core.params import SearchParams
+    from repro.datasets.catalog import load_dataset
+    from repro.faults import named_fault_plan
+    from repro.heal import HealPolicy
+    from repro.mutable import run_mutation_sim
+    from repro.mutable.recovery import recover
+    from repro.observability import MetricsRegistry, SpanTracer
+    from repro.serve import synthetic_trace
+
+    if n_requests <= 0 or mutation_ops <= 0:
+        raise HealError(
+            f"soak needs positive n_requests/mutation_ops, got "
+            f"{n_requests}/{mutation_ops}"
+        )
+    heal = HealPolicy(corruption_probability=corruption_probability,
+                      max_rebuild_attempts=4,
+                      mttr_bound_seconds=mttr_bound_seconds)
+    horizon = 2.0 * n_requests / mean_qps
+    phases: List[SoakPhaseResult] = []
+
+    # -- phase 1: healing cluster under the soak recipe -----------------
+    dataset = load_dataset("sift1m", n_points=n_points,
+                           n_queries=n_pool)
+    params = SearchParams(k=8, l_n=32)
+    trace = synthetic_trace(dataset.queries, n_requests,
+                            mean_qps=mean_qps, queries_per_request=2,
+                            seed=seed)
+    plan = named_fault_plan("soak", horizon_seconds=horizon, seed=seed,
+                            n_workers=n_shards * n_replicas)
+    engine = ClusterEngine(dataset.points, n_shards=n_shards,
+                           n_replicas=n_replicas, params=params,
+                           faults=plan, heal=heal)
+    report = _replay_verified(engine, trace)
+    n_wrong = _count_wrong(engine, report, trace, dataset.queries,
+                           params)
+    phases.append(_phase_from_report(PHASE_CLUSTER, report, n_wrong,
+                                     mttr_bound_seconds))
+
+    # -- phase 2: mutable store -> snapshot cluster healed from it ------
+    mut_plan = named_fault_plan("compaction-crash",
+                                horizon_seconds=float(mutation_ops + 5),
+                                seed=seed)
+    tracer = SpanTracer()
+    metrics = MetricsRegistry()
+    mreport = run_mutation_sim(
+        n_points=240, n_dims=16, n_ops=mutation_ops, seed=seed,
+        batch_size=8, k=5, l_n=32, compact_every=6, checkpoint_every=9,
+        fault_plan=mut_plan, tracer=tracer, metrics=metrics)
+    tracer.finish()
+    tracer.validate()
+    mreport.verify_against_metrics()
+    mut_wrong = mreport.n_wrong_answers
+    recovered = recover(mreport.store)
+    if recovered.digest() != mreport.final_digest:
+        # Recovery infidelity is a wrong answer waiting to happen.
+        mut_wrong += 1
+    handle = recovered.snapshot()
+    mut_params = SearchParams(k=5, l_n=32)
+    rng = np.random.default_rng(seed + 101)
+    mut_pool = rng.standard_normal(
+        (n_pool // 2, handle.points.shape[1])).astype(
+            handle.points.dtype)
+    mut_requests = max(n_requests // 2, 1)
+    mut_trace = synthetic_trace(mut_pool, mut_requests,
+                                mean_qps=mean_qps,
+                                queries_per_request=2, seed=seed + 1)
+    snap_plan = named_fault_plan(
+        "soak", horizon_seconds=2.0 * mut_requests / mean_qps,
+        seed=seed + 1, n_workers=2 * n_replicas)
+    snap_engine = ClusterEngine.from_snapshot(
+        handle, 2, n_replicas, params=mut_params, faults=snap_plan,
+        heal=heal, repair_store=mreport.store)
+    snap_report = _replay_verified(snap_engine, mut_trace)
+    snap_wrong = _count_wrong(snap_engine, snap_report, mut_trace,
+                              mut_pool, mut_params,
+                              live_ids=handle.live_ids())
+    phases.append(_phase_from_report(
+        PHASE_MUTABLE, snap_report, mut_wrong + snap_wrong,
+        mttr_bound_seconds,
+        detail=(f"{mreport.n_crashes} crashes, "
+                f"{mreport.n_recoveries} recoveries, "
+                f"{snap_engine._repair_sources()[0].wal_records} wal "
+                f"records replayed per rebuild")))
+
+    # -- phase 3: quantized staged pipeline under the same chaos --------
+    quant_params = SearchParams(k=8, l_n=32, quant="fp16",
+                                rerank_factor=2)
+    quant_requests = max(n_requests // 2, 1)
+    quant_trace = synthetic_trace(dataset.queries, quant_requests,
+                                  mean_qps=mean_qps,
+                                  queries_per_request=2, seed=seed + 2)
+    quant_plan = named_fault_plan(
+        "soak", horizon_seconds=2.0 * quant_requests / mean_qps,
+        seed=seed + 2, n_workers=n_shards * n_replicas)
+    quant_engine = ClusterEngine(dataset.points, n_shards=n_shards,
+                                 n_replicas=n_replicas,
+                                 params=quant_params,
+                                 faults=quant_plan, heal=heal)
+    quant_report = _replay_verified(quant_engine, quant_trace)
+    quant_wrong = _count_wrong(quant_engine, quant_report, quant_trace,
+                               dataset.queries, quant_params)
+    phases.append(_phase_from_report(PHASE_QUANT, quant_report,
+                                     quant_wrong, mttr_bound_seconds))
+
+    return SoakReport(seed=seed,
+                      mttr_bound_seconds=mttr_bound_seconds,
+                      phases=phases)

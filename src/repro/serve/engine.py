@@ -727,9 +727,12 @@ class ServeEngine:
         assert all(outcome is not None for outcome in outcomes)
         if breaker is not None:
             fault_report.breaker_transitions = list(breaker.transitions)
+            fault_report.probe_successes = breaker.probe_successes
             for transition in breaker.transitions:
                 registry.counter(
                     f"faults.breaker.{transition.to_state}").inc()
+            registry.counter("faults.breaker.probe_successes").inc(
+                breaker.probe_successes)
         first_arrival = trace[0].arrival_seconds if trace else 0.0
         last_completion = max(
             (o.completion_seconds for o in outcomes), default=0.0)

@@ -1,0 +1,139 @@
+"""Deadline fail-fast: hopeless requests never fan out.
+
+Regression battery for the scatter-deadline bug: a request whose
+deadline expires within one scatter round-trip used to be scattered
+anyway, burning every shard on an answer that could only arrive dead.
+Now the engine fails it fast with a typed
+:class:`repro.errors.DeadlineExceededError` *before* fan-out — no
+shard sub-trace entry, no round-robin pointer movement — and counts
+it as ``ClusterStatus.DEADLINE`` in the report and the
+``cluster.deadline_failfast`` metric.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterEngine, ClusterStatus
+from repro.core.params import SearchParams
+from repro.datasets.synthetic import gaussian_mixture
+from repro.errors import DeadlineExceededError, ServeError
+from repro.observability import SpanTracer
+from repro.serve import synthetic_trace
+from repro.serve.request import QueryRequest
+
+PARAMS = SearchParams(k=5, l_n=32)
+
+
+def _corpus():
+    points = gaussian_mixture(240, 12, n_clusters=3, cluster_std=0.4,
+                              seed=31)
+    pool = gaussian_mixture(30, 12, n_clusters=3, cluster_std=0.4,
+                            seed=32)
+    return points, pool
+
+
+def _engine(points, **kwargs):
+    return ClusterEngine(points, n_shards=3, n_replicas=2,
+                         params=PARAMS, **kwargs)
+
+
+def test_deadline_error_is_typed():
+    assert issubclass(DeadlineExceededError, ServeError)
+
+
+def test_hopeless_deadline_fails_fast_before_fanout():
+    points, pool = _corpus()
+    trace = synthetic_trace(pool, 40, mean_qps=20_000.0, seed=1)
+    engine = _engine(points, default_deadline_seconds=1e-9)
+    report = engine.replay(trace)
+    assert report.n_deadline_failfast == len(trace)
+    for outcome in report.outcomes:
+        assert outcome.status == ClusterStatus.DEADLINE
+        assert outcome.ids is None
+        assert outcome.dists is None
+        assert outcome.scatter_seconds == 0.0
+        assert "DeadlineExceededError" in outcome.detail
+    report.verify_against_metrics()
+    # Nothing ever reached a shard.
+    assert report.metrics.value("cluster.shard_queries",
+                                 default=0.0) == 0.0
+
+
+def test_generous_deadline_still_serves():
+    points, pool = _corpus()
+    trace = synthetic_trace(pool, 40, mean_qps=20_000.0, seed=1)
+    engine = _engine(points, default_deadline_seconds=0.5)
+    report = engine.replay(trace)
+    assert report.n_deadline_failfast == 0
+    assert report.n_served == len(trace)
+    report.verify_against_metrics()
+
+
+def test_per_request_deadline_overrides_default():
+    points, pool = _corpus()
+    doomed = QueryRequest(request_id=0, queries=pool[0],
+                          arrival_seconds=1e-4,
+                          deadline_seconds=1e-9)
+    healthy = QueryRequest(request_id=1, queries=pool[1],
+                           arrival_seconds=2e-4)
+    engine = _engine(points, default_deadline_seconds=0.5)
+    report = engine.replay((doomed, healthy))
+    assert report.outcomes[0].status == ClusterStatus.DEADLINE
+    assert report.outcomes[1].status == ClusterStatus.SERVED
+    assert report.n_deadline_failfast == 1
+    report.verify_against_metrics()
+
+
+def test_failfast_does_not_perturb_routing_of_survivors():
+    """Answers of surviving requests are identical whether or not a
+    doomed request sat between them — fail-fast happens before any
+    router state advances."""
+    points, pool = _corpus()
+    survivors = [QueryRequest(request_id=i, queries=pool[i],
+                              arrival_seconds=1e-4 * (i + 1))
+                 for i in range(6)]
+    doomed = QueryRequest(request_id=99, queries=pool[10],
+                          arrival_seconds=2.5e-4,
+                          deadline_seconds=1e-9)
+    with_doomed = sorted(survivors + [doomed],
+                         key=lambda r: r.arrival_seconds)
+    engine_a = _engine(points)
+    clean = engine_a.replay(tuple(survivors))
+    engine_b = _engine(points)
+    mixed = engine_b.replay(tuple(with_doomed))
+    mixed_by_id = {req.request_id: out
+                   for req, out in zip(with_doomed, mixed.outcomes)}
+    for req, out in zip(survivors, clean.outcomes):
+        other = mixed_by_id[req.request_id]
+        assert other.status == out.status
+        assert np.array_equal(other.ids, out.ids)
+        assert np.array_equal(other.dists, out.dists)
+
+
+def test_deadline_outcomes_skip_scatter_spans():
+    points, pool = _corpus()
+    trace = synthetic_trace(pool, 20, mean_qps=20_000.0, seed=2)
+    tracer = SpanTracer()
+    engine = _engine(points, default_deadline_seconds=1e-9)
+    report = engine.replay(trace, tracer=tracer)
+    tracer.finish()
+    tracer.validate()
+    names = [span.name for span in tracer.spans]
+    assert "cluster.scatter" not in names
+    assert report.n_deadline_failfast == len(trace)
+
+
+def test_deadline_failfast_is_deterministic():
+    points, pool = _corpus()
+    trace = synthetic_trace(pool, 40, mean_qps=20_000.0, seed=3)
+    engine = _engine(points, default_deadline_seconds=1e-9)
+    assert engine.replay(trace).to_bytes() == \
+        engine.replay(trace).to_bytes()
+
+
+def test_summary_counts_deadline_failfast():
+    points, pool = _corpus()
+    trace = synthetic_trace(pool, 10, mean_qps=20_000.0, seed=4)
+    engine = _engine(points, default_deadline_seconds=1e-9)
+    report = engine.replay(trace)
+    assert "deadline" in report.summary()

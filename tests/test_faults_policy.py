@@ -116,6 +116,58 @@ class TestCircuitBreaker:
             BreakerPolicy(failure_threshold=0)
         with pytest.raises(ConfigurationError, match="cooldown"):
             BreakerPolicy(cooldown_seconds=-1.0)
+        with pytest.raises(ConfigurationError, match="half_open_probes"):
+            BreakerPolicy(half_open_probes=0)
+
+    def test_multi_probe_half_open_needs_a_streak(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1,
+                                               cooldown_seconds=1.0,
+                                               half_open_probes=3))
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.5)
+        assert breaker.state == BREAKER_HALF_OPEN
+        breaker.record_success(1.6)
+        breaker.record_success(1.7)
+        # Two of three probes in: still half-open, still impaired.
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.impaired
+        assert breaker.probe_successes == 2
+        breaker.record_success(1.8)
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.probe_successes == 3
+
+    def test_probe_failure_resets_the_streak(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1,
+                                               cooldown_seconds=1.0,
+                                               half_open_probes=2))
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.5)
+        breaker.record_success(1.6)
+        breaker.record_failure(1.7)  # probe failed: back to open
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.allow(3.0)
+        breaker.record_success(3.1)
+        # The pre-failure probe does not count toward the new streak.
+        assert breaker.state == BREAKER_HALF_OPEN
+        breaker.record_success(3.2)
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.probe_successes == 3
+
+    def test_default_policy_is_close_on_first_success(self):
+        assert BreakerPolicy().half_open_probes == 1
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1,
+                                               cooldown_seconds=1.0))
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.5)
+        breaker.record_success(1.6)
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.probe_successes == 1
+
+    def test_closed_successes_are_not_probes(self):
+        breaker = CircuitBreaker(BreakerPolicy())
+        breaker.record_success(0.1)
+        breaker.record_success(0.2)
+        assert breaker.probe_successes == 0
 
 
 class TestAdmissionGovernor:

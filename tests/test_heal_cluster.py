@@ -1,0 +1,250 @@
+"""Engine-level self-healing: PARTIAL -> rebuild -> verify -> healthy.
+
+Drives :class:`repro.cluster.engine.ClusterEngine` with targeted
+worker-loss plans and asserts the full detect -> rebuild -> catch-up
+-> verify -> re-admit story: a single-replica shard degrades to
+``PARTIAL`` while its slot is down and returns to ``SERVED`` after
+re-admission, healed answers are byte-equal to the offline per-shard
+merge, heal metrics and spans reconcile with zero drift, and the
+whole thing replays byte-identically.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterEngine, ClusterStatus, merge_topk
+from repro.core.ganns import ganns_search
+from repro.core.params import SearchParams
+from repro.datasets.synthetic import gaussian_mixture
+from repro.faults.plan import FAULT_WORKER_LOSS, FaultEvent, FaultPlan
+from repro.heal import HealPolicy
+from repro.observability import SpanTracer
+from repro.serve import synthetic_trace
+
+N_POINTS = 300
+N_DIMS = 16
+PARAMS = SearchParams(k=5, l_n=32)
+DEATH_SECONDS = 0.002
+
+
+def _corpus():
+    points = gaussian_mixture(N_POINTS, N_DIMS, n_clusters=4,
+                              cluster_std=0.4, seed=21)
+    pool = gaussian_mixture(40, N_DIMS, n_clusters=4,
+                            cluster_std=0.4, seed=22)
+    return points, pool
+
+
+def _loss_plan(slot, at=DEATH_SECONDS, seed=0):
+    return FaultPlan(events=[FaultEvent(
+        kind=FAULT_WORKER_LOSS, at_seconds=at, magnitude=1.0,
+        target=slot)], seed=seed)
+
+
+def _trace(pool, n_requests=150, seed=1):
+    return synthetic_trace(pool, n_requests, mean_qps=20_000.0,
+                           queries_per_request=1, seed=seed)
+
+
+def _engine(points, plan=None, heal=None, n_shards=3, n_replicas=1,
+            **kwargs):
+    return ClusterEngine(points, n_shards=n_shards,
+                         n_replicas=n_replicas, params=PARAMS,
+                         faults=plan, heal=heal, **kwargs)
+
+
+def _reference(engine, pool):
+    shard_ids, shard_dists = [], []
+    for shard in range(engine.n_shards):
+        result = ganns_search(engine.shard_graphs[shard],
+                              engine.shard_points[shard], pool,
+                              PARAMS)
+        shard_ids.append(engine.shard_map.to_global(shard, result.ids))
+        shard_dists.append(result.dists)
+    return merge_topk(PARAMS.k, shard_ids, shard_dists)
+
+
+class TestHealLifecycle:
+    def test_partial_returns_to_served_after_readmission(self):
+        points, pool = _corpus()
+        trace = _trace(pool)
+        heal = HealPolicy()
+        engine = _engine(points, plan=_loss_plan(1), heal=heal)
+        report = engine.replay(trace)
+        assert report.heal_enabled
+        assert report.n_repairs == 1
+        rec = report.repairs[0]
+        assert rec.healed
+        admitted = rec.admitted_seconds
+        # The trace outlives the repair, so the tail is healthy again.
+        assert trace[-1].arrival_seconds > admitted
+        statuses = [(req.arrival_seconds, o.status)
+                    for req, o in zip(trace, report.outcomes)]
+        during = [s for t, s in statuses
+                  if DEATH_SECONDS < t <= admitted]
+        after = [s for t, s in statuses if t > admitted]
+        assert ClusterStatus.PARTIAL in during, (
+            "a single-replica shard death never degraded service — "
+            "the loss window missed the trace")
+        assert after and all(s == ClusterStatus.SERVED for s in after)
+
+    def test_without_heal_the_shard_stays_partial_forever(self):
+        points, pool = _corpus()
+        trace = _trace(pool)
+        engine = _engine(points, plan=_loss_plan(1), heal=None)
+        report = engine.replay(trace)
+        assert not report.heal_enabled
+        assert report.n_repairs == 0
+        tail = [o.status for o in report.outcomes
+                if o.completion_seconds > 0.004]
+        assert tail and all(s == ClusterStatus.PARTIAL for s in tail)
+
+    def test_healed_answers_match_offline_merge(self):
+        points, pool = _corpus()
+        trace = _trace(pool)
+        engine = _engine(points, plan=_loss_plan(1), heal=HealPolicy())
+        report = engine.replay(trace)
+        ref_ids, ref_dists = _reference(engine, pool)
+        pool_row = {pool[i].tobytes(): i for i in range(len(pool))}
+        checked = 0
+        for pos, outcome in enumerate(report.outcomes):
+            if not outcome.complete or outcome.degraded_tier != 0:
+                continue
+            rows = [pool_row[q.tobytes()]
+                    for q in trace[pos].queries]
+            assert np.array_equal(outcome.ids, ref_ids[rows])
+            assert np.array_equal(outcome.dists, ref_dists[rows])
+            checked += 1
+        assert checked > 0
+
+    def test_quarantined_rebuild_is_never_admitted(self):
+        points, pool = _corpus()
+        trace = _trace(pool)
+        heal = HealPolicy(corruption_probability=0.8,
+                          max_rebuild_attempts=2)
+        engine = _engine(points, plan=_loss_plan(1, seed=3), heal=heal)
+        report = engine.replay(trace)
+        rec = report.repairs[0]
+        for attempt in rec.attempts[:-1]:
+            assert not attempt.digest_matched
+        if rec.healed:
+            assert rec.attempts[-1].digest_matched
+        else:
+            assert math.isinf(rec.admitted_seconds)
+            tail = [o.status for o in report.outcomes
+                    if o.completion_seconds > rec.attempts[-1].end_seconds]
+            assert all(s == ClusterStatus.PARTIAL for s in tail)
+
+    def test_sibling_replica_carries_the_shard_while_healing(self):
+        points, pool = _corpus()
+        trace = _trace(pool)
+        engine = _engine(points, plan=_loss_plan(2), heal=HealPolicy(),
+                         n_shards=3, n_replicas=2)
+        report = engine.replay(trace)
+        assert report.n_repairs == 1
+        assert all(o.status == ClusterStatus.SERVED
+                   for o in report.outcomes)
+        assert report.n_failovers > 0
+
+
+class TestHealAccounting:
+    def test_metrics_and_spans_reconcile(self):
+        points, pool = _corpus()
+        trace = _trace(pool)
+        tracer = SpanTracer()
+        engine = _engine(points, plan=_loss_plan(1),
+                         heal=HealPolicy())
+        report = engine.replay(trace, tracer=tracer)
+        tracer.finish()
+        tracer.validate()
+        report.verify_against_metrics()
+        names = {span.name for span in tracer.spans}
+        assert "heal.repair" in names
+        assert "heal.transfer" in names
+        assert "heal.verify" in names
+
+    def test_heal_replay_is_byte_deterministic(self):
+        points, pool = _corpus()
+        trace = _trace(pool)
+        heal = HealPolicy(corruption_probability=0.5,
+                          max_rebuild_attempts=3)
+        engine = _engine(points, plan=_loss_plan(1, seed=7), heal=heal)
+        first = engine.replay(trace)
+        second = engine.replay(trace)
+        assert first.to_bytes() == second.to_bytes()
+        assert first.digest() == second.digest()
+
+    def test_heal_with_no_losses_reports_zero_repairs(self):
+        points, pool = _corpus()
+        trace = _trace(pool)
+        engine = _engine(points, plan=None, heal=HealPolicy())
+        report = engine.replay(trace)
+        assert report.heal_enabled
+        assert report.n_repairs == 0
+        assert report.max_mttr_seconds == 0.0
+        report.verify_against_metrics()
+
+    def test_heal_section_only_encodes_when_enabled(self):
+        points, pool = _corpus()
+        trace = _trace(pool)
+        on = _engine(points, plan=None,
+                     heal=HealPolicy()).replay(trace)
+        off = _engine(points, plan=None, heal=None).replay(trace)
+        assert b"\nheal " in on.to_bytes()
+        assert b"\nheal " not in off.to_bytes()
+        # Outcomes themselves are untouched by arming heal.
+        for a, b in zip(on.outcomes, off.outcomes):
+            assert a.status == b.status
+            assert a.completion_seconds == b.completion_seconds
+
+    def test_mttr_bound_accounting(self):
+        points, pool = _corpus()
+        trace = _trace(pool)
+        engine = _engine(points, plan=_loss_plan(1),
+                         heal=HealPolicy())
+        report = engine.replay(trace)
+        assert report.unhealed_within(report.mttr_bound_seconds) == []
+        # An impossible bound flags every repair.
+        assert len(report.unhealed_within(1e-12)) == report.n_repairs
+
+
+class TestSnapshotServing:
+    def test_repair_store_charges_wal_catchup(self):
+        from repro.mutable import run_mutation_sim
+        from repro.mutable.recovery import recover
+
+        mreport = run_mutation_sim(n_points=140, n_dims=8, n_ops=14,
+                                   seed=5, checkpoint_every=6)
+        store = mreport.store
+        handle = recover(store).snapshot()
+        rng = np.random.default_rng(6)
+        pool = rng.standard_normal(
+            (24, handle.points.shape[1])).astype(handle.points.dtype)
+        trace = _trace(pool, n_requests=100, seed=2)
+        engine = ClusterEngine.from_snapshot(
+            handle, 2, 1, params=PARAMS, faults=_loss_plan(1),
+            heal=HealPolicy(), repair_store=store)
+        report = engine.replay(trace)
+        assert report.n_repairs == 1
+        rec = report.repairs[0]
+        assert rec.healed
+        assert rec.wal_records == len(store.surviving_records())
+        from repro.heal import StoreShardSource, shard_payload_bytes
+        source = StoreShardSource(store)
+        assert rec.attempts[0].catchup_seconds == \
+            source.catchup_seconds
+        # Each shard ships its own serving state, not the whole store.
+        assert rec.snapshot_bytes == shard_payload_bytes(
+            engine.shard_graphs[rec.shard],
+            engine.shard_points[rec.shard])
+        # Tombstoned slot ids never surface through the mapping.
+        live = set(handle.live_ids().tolist())
+        for outcome in report.outcomes:
+            if not outcome.complete:
+                continue
+            external = engine.map_to_external(outcome.ids)
+            served = external[external >= 0]
+            assert set(served.tolist()) <= live
+        report.verify_against_metrics()

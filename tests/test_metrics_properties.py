@@ -87,9 +87,16 @@ class TestInnerProductAxioms:
     @given(vectors, vectors, st.floats(min_value=0.1, max_value=10.0))
     @settings(max_examples=60, deadline=None)
     def test_query_scaling_preserves_order(self, q, a, scale):
+        from hypothesis import assume
         rng = np.random.default_rng(1)
         others = rng.normal(size=(6, len(q)))
-        base_order = np.argsort(self.metric.one_to_many(q, others))
+        base = self.metric.one_to_many(q, others)
+        # Ordering is only preserved where float arithmetic can see it:
+        # a denormal query really does collapse to zero under scaling,
+        # and near-tied products may swap under rounding.
+        spread = np.min(np.diff(np.sort(base)))
+        assume(spread > 1e-9 * max(1.0, float(np.max(np.abs(base)))))
+        base_order = np.argsort(base)
         scaled_order = np.argsort(self.metric.one_to_many(scale * q,
                                                           others))
         assert np.array_equal(base_order, scaled_order)

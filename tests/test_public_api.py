@@ -31,7 +31,7 @@ class TestTopLevelExports:
         "repro.core", "repro.baselines", "repro.gpusim", "repro.graphs",
         "repro.datasets", "repro.metrics", "repro.bench",
         "repro.extensions", "repro.cli", "repro.serve", "repro.faults",
-        "repro.observability", "repro.cluster",
+        "repro.observability", "repro.cluster", "repro.heal",
     ])
     def test_subpackages_import(self, module):
         importlib.import_module(module)
@@ -39,7 +39,7 @@ class TestTopLevelExports:
     @pytest.mark.parametrize("module", [
         "repro.core", "repro.baselines", "repro.gpusim", "repro.bench",
         "repro.extensions", "repro.serve", "repro.faults",
-        "repro.observability", "repro.cluster",
+        "repro.observability", "repro.cluster", "repro.heal",
     ])
     def test_subpackage_alls_resolve(self, module):
         mod = importlib.import_module(module)
